@@ -1,0 +1,57 @@
+"""A3: controller-model robustness of the Figure 4 conclusion.
+
+The paper's headline performance result (Siloz within ±0.5 % of
+baseline) should not depend on memory-controller details the evaluation
+server happens to have.  This ablation reruns a Figure-4 subset under
+three controller models — in-order open-page (the default), FR-FCFS,
+and closed-page — and asserts the Siloz/baseline geomean stays ~1.0
+under every one of them.
+"""
+
+from conftest import banner
+
+from repro.eval import baseline_system, perf_experiment, siloz_system
+from repro.eval.report import render_table
+from repro.memctrl import MemoryController
+from repro.memctrl.frfcfs import FrFcfsController
+
+WORKLOADS = ["redis-b", "terasort", "mlc-stream", "mysql"]
+TRIALS = 3
+ACCESSES = 8000
+
+CONTROLLERS = {
+    "in-order / open-page": None,
+    "fr-fcfs": lambda mapping, timings: FrFcfsController(mapping, timings),
+    "closed-page": lambda mapping, timings: MemoryController(
+        mapping, timings, page_policy="closed"
+    ),
+}
+
+
+def _run():
+    ratios = {}
+    for label, factory in CONTROLLERS.items():
+        systems = [baseline_system(seed=90), siloz_system(seed=90)]
+        comparison = perf_experiment(
+            systems,
+            WORKLOADS,
+            metric="time",
+            trials=TRIALS,
+            accesses=ACCESSES,
+            controller_factory=factory,
+        )
+        ratios[label] = comparison.geomean_ratio("siloz")
+    return ratios
+
+
+def test_scheduler_robustness(benchmark):
+    ratios = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(banner("A3: Siloz/baseline geomean under controller variants"))
+    print(
+        render_table(
+            ["controller model", "geomean(siloz/baseline)"],
+            [[label, f"{ratio:.5f}"] for label, ratio in ratios.items()],
+        )
+    )
+    for label, ratio in ratios.items():
+        assert abs(ratio - 1.0) < 0.015, f"{label}: {ratio}"

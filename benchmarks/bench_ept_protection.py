@@ -1,0 +1,88 @@
+"""§7.1 "EPT Bit Flip Prevention" (paper Table 3's companion study).
+
+Reproduces the paper's protected-vs-unprotected experiment: hammering
+around Siloz's guard-protected EPT block never flips EPT rows, while the
+same effort against unprotected rows in the same subarray group does
+flip bits.  A third scenario shows the unprotected-EPT attack succeeding
+when protection is disabled.
+"""
+
+from conftest import banner
+
+from repro.attack.hammer import hammer_pattern_rows
+from repro.core import EptProtection, SilozConfig, SilozHypervisor
+from repro.core.groups import ept_block_rows, ept_rows
+from repro.eval.report import render_table
+from repro.hv import Machine, VmSpec
+from repro.units import MiB
+
+ROUNDS = 5000
+
+
+def _protected_vs_unprotected():
+    hv = SilozHypervisor.boot(Machine.small(seed=300))
+    hv.create_vm(VmSpec(name="vm", memory_bytes=2 * MiB))
+    geom = hv.machine.geom
+    dram = hv.machine.dram
+    block = ept_block_rows(hv.config, geom)
+    protected = set(ept_rows(hv.config, geom))
+
+    # (a) hammer the closest allocatable rows to the protected block;
+    hammer_pattern_rows(dram, 0, 0, [block.stop, block.stop + 2], rounds=ROUNDS)
+    # (b) hammer unprotected rows deep in the same group's next subarray.
+    unprotected_base = geom.rows_per_subarray + 16
+    hammer_pattern_rows(
+        dram, 0, 0, [unprotected_base, unprotected_base + 2], rounds=ROUNDS
+    )
+
+    flipped = {f.row for f in dram.flips_log}
+    return {
+        "ept_rows_flipped": sorted(flipped & protected),
+        "unprotected_flipped": sorted(
+            r for r in flipped if unprotected_base - 4 <= r <= unprotected_base + 6
+        ),
+        "total_flips": len(dram.flips_log),
+    }
+
+
+def test_ept_guard_rows_prevent_flips(benchmark):
+    result = benchmark.pedantic(_protected_vs_unprotected, rounds=1, iterations=1)
+    print(banner("EPT bit-flip prevention (§7.1)"))
+    print(
+        render_table(
+            ["rows", "observed bit flips?"],
+            [
+                ["guard-protected EPT rows (b=%d-style block)" % 32,
+                 "NO" if not result["ept_rows_flipped"] else "YES(!)"],
+                ["unprotected rows, same subarray group",
+                 "yes" if result["unprotected_flipped"] else "no"],
+            ],
+        )
+    )
+    assert result["total_flips"] > 0
+    assert not result["ept_rows_flipped"], "guarded EPT rows must never flip"
+    assert result["unprotected_flipped"], "control rows must flip"
+
+
+def _unprotected_ept_attack():
+    machine = Machine.small(seed=301)
+    cfg = SilozConfig.scaled_for(machine.geom, ept_protection=EptProtection.NONE)
+    hv = SilozHypervisor.boot(machine, cfg)
+    vm = hv.create_vm(VmSpec(name="vm", memory_bytes=2 * MiB))
+    dram = hv.machine.dram
+    page = vm.ept.table_pages[-1]
+    media = dram.mapping.decode(page)
+    bank = media.socket_bank_index(machine.geom)
+    rows_per_bank = machine.geom.rows_per_bank
+    aggressors = [
+        r for r in (media.row - 1, media.row + 1) if 0 <= r < rows_per_bank
+    ]
+    hammer_pattern_rows(dram, 0, bank, aggressors, rounds=ROUNDS)
+    return dram.flip_bits_at(0, bank, media.row)
+
+
+def test_unprotected_ept_rows_are_attackable(benchmark):
+    flipped_bits = benchmark.pedantic(_unprotected_ept_attack, rounds=1, iterations=1)
+    print(banner("Control: EPT rows WITHOUT guard rows take flips"))
+    print(f"bit flips landed in an EPT table page: {len(flipped_bits)}")
+    assert flipped_bits, "without protection the EPT row must be flippable"

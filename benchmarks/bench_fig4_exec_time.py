@@ -1,0 +1,44 @@
+"""Figure 4 (paper §7.2): baseline-normalised execution time.
+
+redis+YCSB A-F, Hadoop terasort, SPEC CPU 2017, PARSEC 3.0 — run on the
+baseline hypervisor and on Siloz, five trials each, reported as
+baseline-normalised overhead with 95 % confidence intervals.  The
+paper's claim: geometric-mean difference within ±0.5 %.
+"""
+
+from conftest import banner, show_figure
+
+from repro.eval import baseline_system, perf_experiment, siloz_system
+from repro.workloads import EXEC_TIME_SUITES
+
+TRIALS = 5
+ACCESSES = 12_000
+
+
+def _run():
+    systems = [baseline_system(seed=40), siloz_system(seed=40)]
+    return perf_experiment(
+        systems,
+        list(EXEC_TIME_SUITES),
+        metric="time",
+        trials=TRIALS,
+        accesses=ACCESSES,
+    )
+
+
+def test_fig4_execution_time(benchmark):
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(banner("Figure 4: baseline-normalized execution time overhead (%)"))
+    show_figure(
+        comparison,
+        name="fig4_exec_time",
+        title="lower is better; paper: |geomean| < 0.5%",
+    )
+    ratio = comparison.geomean_ratio("siloz")
+    print(f"geomean(siloz/baseline) = {ratio:.5f}")
+    # Paper claim at our noise level: well within ±1 %, targeting ±0.5 %.
+    assert abs(ratio - 1.0) < 0.01
+    # Every per-workload mean overhead is small (no pathological suite).
+    for workload in comparison.workloads():
+        mean_pct, _ = comparison.overhead_percent(workload, "siloz")
+        assert abs(mean_pct) < 3.0, f"{workload}: {mean_pct:+.2f}%"

@@ -1,0 +1,38 @@
+"""Figure 5 (paper §7.3): baseline-normalised throughput.
+
+memcached, SysBench mySQL, and the Intel MLC bandwidth family
+(all-reads, 3:1, 2:1, 1:1, STREAM-triad-like), reported as
+baseline-normalised throughput overhead with 95 % CIs.  Paper claim:
+within ±0.5 % of baseline mean throughput.
+"""
+
+from conftest import banner, show_figure
+
+from repro.eval import baseline_system, perf_experiment, siloz_system
+from repro.workloads import THROUGHPUT_SUITES
+
+TRIALS = 5
+ACCESSES = 12_000
+
+
+def _run():
+    systems = [baseline_system(seed=50), siloz_system(seed=50)]
+    return perf_experiment(
+        systems,
+        list(THROUGHPUT_SUITES),
+        metric="bandwidth",
+        trials=TRIALS,
+        accesses=ACCESSES,
+    )
+
+
+def test_fig5_throughput(benchmark):
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(banner("Figure 5: baseline-normalized throughput overhead (%)"))
+    show_figure(comparison, name="fig5_throughput", title="paper: |mean| < 0.5%")
+    ratio = comparison.geomean_ratio("siloz")
+    print(f"geomean(siloz/baseline) = {ratio:.5f}")
+    assert abs(ratio - 1.0) < 0.01
+    for workload in comparison.workloads():
+        mean_pct, _ = comparison.overhead_percent(workload, "siloz")
+        assert abs(mean_pct) < 3.0, f"{workload}: {mean_pct:+.2f}%"

@@ -1,0 +1,52 @@
+"""Figure 6 (paper §7.4): subarray-size sensitivity, execution time.
+
+Siloz managing 64-, 128- and 256-row subarray groups (the medium-scale
+analogues of the paper's Siloz-512/-1024/-2048: same 1:2:4 ratios around
+the hardware's true size), normalised to the middle variant.  Paper
+claims: < 0.5 % geomean differences and *no trend* with node count —
+if node iteration mattered, the most-nodes variant (smallest subarrays)
+would be consistently slowest, which it is not.
+"""
+
+from conftest import banner, show_figure
+
+from repro.eval import perf_experiment, siloz_system
+from repro.workloads import EXEC_TIME_SUITES
+
+TRIALS = 5
+ACCESSES = 12_000
+
+
+def _run():
+    systems = [
+        siloz_system(name="siloz-1024", rows_per_subarray=128, seed=60),
+        siloz_system(name="siloz-512", rows_per_subarray=64, seed=60),
+        siloz_system(name="siloz-2048", rows_per_subarray=256, seed=60),
+    ]
+    return perf_experiment(
+        systems,
+        list(EXEC_TIME_SUITES),
+        metric="time",
+        trials=TRIALS,
+        accesses=ACCESSES,
+    )
+
+
+def test_fig6_subarray_size_exec_time(benchmark):
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(banner("Figure 6: Siloz-1024-normalized execution time (%)"))
+    show_figure(comparison, name="fig6_subarray_exec", baseline="siloz-1024")
+    r512 = comparison.geomean_ratio("siloz-512", baseline="siloz-1024")
+    r2048 = comparison.geomean_ratio("siloz-2048", baseline="siloz-1024")
+    print(f"geomean ratios: siloz-512={r512:.5f} siloz-2048={r2048:.5f}")
+    assert abs(r512 - 1.0) < 0.01
+    assert abs(r2048 - 1.0) < 0.01
+    # "No trend": the many-node variant is not uniformly slower than the
+    # few-node variant across workloads.
+    slower = sum(
+        1
+        for w in comparison.workloads()
+        if comparison.overhead_percent(w, "siloz-512", baseline="siloz-1024")[0]
+        > comparison.overhead_percent(w, "siloz-2048", baseline="siloz-1024")[0]
+    )
+    assert 0 < slower < len(comparison.workloads()), "unexpected monotone trend"

@@ -1,0 +1,39 @@
+"""Figure 7 (paper §7.4): subarray-size sensitivity, throughput.
+
+The throughput companion of Figure 6: memcached/mysql/MLC bandwidth on
+Siloz-512/-1024/-2048 analogues, normalised to Siloz-1024.
+"""
+
+from conftest import banner, show_figure
+
+from repro.eval import perf_experiment, siloz_system
+from repro.workloads import THROUGHPUT_SUITES
+
+TRIALS = 5
+ACCESSES = 12_000
+
+
+def _run():
+    systems = [
+        siloz_system(name="siloz-1024", rows_per_subarray=128, seed=70),
+        siloz_system(name="siloz-512", rows_per_subarray=64, seed=70),
+        siloz_system(name="siloz-2048", rows_per_subarray=256, seed=70),
+    ]
+    return perf_experiment(
+        systems,
+        list(THROUGHPUT_SUITES),
+        metric="bandwidth",
+        trials=TRIALS,
+        accesses=ACCESSES,
+    )
+
+
+def test_fig7_subarray_size_throughput(benchmark):
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(banner("Figure 7: Siloz-1024-normalized throughput (%)"))
+    show_figure(comparison, name="fig7_subarray_tput", baseline="siloz-1024")
+    r512 = comparison.geomean_ratio("siloz-512", baseline="siloz-1024")
+    r2048 = comparison.geomean_ratio("siloz-2048", baseline="siloz-1024")
+    print(f"geomean ratios: siloz-512={r512:.5f} siloz-2048={r2048:.5f}")
+    assert abs(r512 - 1.0) < 0.01
+    assert abs(r2048 - 1.0) < 0.01

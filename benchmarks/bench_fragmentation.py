@@ -1,0 +1,65 @@
+"""F-frag (paper §8.1 discussion): provisioning granularity analysis.
+
+Not a numbered figure, but the paper's §8.1 makes quantitative claims
+about subarray-group fragmentation: a 512 MiB VM on a 1.5 GiB group
+strands 1 GiB; sub-NUMA clustering halves group sizes; providers already
+sell VM sizes at group-like granularity.  This bench regenerates those
+numbers for a representative VM mix across group sizes.
+"""
+
+from conftest import banner
+
+from repro.core.fragmentation import (
+    TYPICAL_VM_MIX,
+    provider_aligned_mix,
+    stranding_report,
+    sweep_group_sizes,
+)
+from repro.dram.geometry import DRAMGeometry
+from repro.eval.report import render_table
+from repro.units import GiB, MiB, fmt_bytes
+
+
+def _sweep():
+    paper_group = DRAMGeometry.paper_default().subarray_group_bytes
+    ddr5_group = DRAMGeometry.ddr5_server().subarray_group_bytes
+    sizes = [paper_group // 2, paper_group, ddr5_group]  # SNC-2, DDR4, DDR5
+    return paper_group, sweep_group_sizes(list(TYPICAL_VM_MIX), sizes)
+
+
+def test_fragmentation_sweep(benchmark):
+    paper_group, reports = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print(banner("§8.1: stranded DRAM vs subarray-group size"))
+    labels = {
+        paper_group // 2: "SNC-2 (768 MiB)",
+        paper_group: "DDR4 (1.5 GiB)",
+        2 * paper_group: "DDR5 (3 GiB)",
+    }
+    print(
+        render_table(
+            ["group size", "provisioned", "stranded", "stranded %"],
+            [
+                [
+                    labels.get(r.group_bytes, fmt_bytes(r.group_bytes)),
+                    fmt_bytes(r.provisioned_bytes),
+                    fmt_bytes(r.stranded_bytes),
+                    f"{r.stranded_fraction * 100:.1f}%",
+                ]
+                for r in reports
+            ],
+        )
+    )
+    by_group = {r.group_bytes: r for r in reports}
+    # §8.1 headline: a lone 512 MiB VM strands 1 GiB on a 1.5 GiB group.
+    single = stranding_report([512 * MiB], paper_group)
+    print(f"single 512 MiB VM on a 1.5 GiB group strands {fmt_bytes(single.stranded_bytes)}")
+    assert single.stranded_bytes == 1 * GiB
+    # Stranding decreases monotonically with finer groups.
+    assert (
+        by_group[paper_group // 2].stranded_bytes
+        <= by_group[paper_group].stranded_bytes
+        <= by_group[2 * paper_group].stranded_bytes
+    )
+    # Provider-aligned sizing eliminates stranding entirely.
+    aligned = stranding_report(provider_aligned_mix(paper_group), paper_group)
+    assert aligned.stranded_bytes == 0

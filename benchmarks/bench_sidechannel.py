@@ -1,0 +1,41 @@
+"""B1 (paper §8.4): what subarray groups do and don't isolate.
+
+Siloz prevents inter-VM Rowhammer; it does not close DRAM *timing* side
+channels, because subarray groups share banks by design.  The paper's
+§8.4 proposes managing banks/ranks/channels as additional isolation
+domains via the same logical-NUMA machinery.  This bench quantifies the
+DRAMA row-buffer channel under both regimes.
+"""
+
+from conftest import banner
+
+from repro.attack.sidechannel import drama_probe
+from repro.eval.report import render_table
+
+
+def _run():
+    return {
+        "shared bank (Siloz default)": drama_probe(shared_bank=True),
+        "bank-isolated domains (§8.4)": drama_probe(shared_bank=False),
+    }
+
+
+def test_drama_side_channel(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(banner("B1: DRAMA row-buffer timing channel (§8.4)"))
+    print(
+        render_table(
+            ["configuration", "probe idle (ns)", "probe w/ victim (ns)", "verdict"],
+            [
+                [
+                    name,
+                    f"{r.idle_latency_ns:.2f}",
+                    f"{r.active_latency_ns:.2f}",
+                    "LEAK" if r.leak_detected else "closed",
+                ]
+                for name, r in results.items()
+            ],
+        )
+    )
+    assert results["shared bank (Siloz default)"].leak_detected
+    assert not results["bank-isolated domains (§8.4)"].leak_detected

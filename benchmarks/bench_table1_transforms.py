@@ -1,0 +1,55 @@
+"""Table 1 (paper §6): DDR4 address mirroring and inversion.
+
+Regenerates the bit-transformation table for every (rank parity, side)
+combination and verifies the paper's isolation analysis around it:
+power-of-2 subarray sizes survive the transforms, others do not.
+"""
+
+from conftest import banner
+
+from repro.dram.transforms import (
+    TransformConfig,
+    subarray_isolation_preserved,
+    transform_table,
+)
+from repro.eval.report import render_table
+
+
+def _render_table1() -> str:
+    table = transform_table(max_bit=10)
+    headers = ["rank", "side"] + [f"b{i}" for i in range(11)]
+    rows = [[entry[h] for h in headers] for entry in table]
+    return render_table(headers, rows, title="Table 1: DDR4 mirroring + inversion")
+
+
+def test_table1_transform_table(benchmark):
+    text = benchmark(_render_table1)
+    print(banner("Table 1 reproduction"))
+    print(text)
+    # Spot checks from the paper's caption: odd ranks mirror <b3,b4>,
+    # B sides invert, even-rank A-side is identity.
+    assert "!b" in text
+    table = transform_table()
+    even_a = table[0]
+    assert all(even_a[f"b{i}"] == f"b{i}" for i in range(11))
+    odd_a = next(r for r in table if r["rank"] == "odd" and r["side"] == "A")
+    assert odd_a["b3"] == "b4" and odd_a["b4"] == "b3"
+
+
+def test_table1_isolation_consequences(benchmark):
+    def analyse():
+        out = {}
+        for size in (512, 768, 1024, 1536, 2048):
+            out[size] = subarray_isolation_preserved(size, TransformConfig())
+        return out
+
+    results = benchmark(analyse)
+    print(banner("Isolation preserved under mirroring+inversion (§6)"))
+    print(
+        render_table(
+            ["subarray rows", "isolation preserved"],
+            [[k, "yes" if v else "NO"] for k, v in results.items()],
+        )
+    )
+    assert results[512] and results[1024] and results[2048]
+    assert not results[768] and not results[1536]

@@ -1,0 +1,51 @@
+"""Shared helpers for the per-table/per-figure benchmarks.
+
+Every benchmark prints its reproduced table/figure (run pytest with
+``-s`` to stream them) and asserts the paper's qualitative claim, so
+``pytest benchmarks/ --benchmark-only`` doubles as the repro check.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.dram.geometry import DRAMGeometry
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def banner(title: str) -> str:
+    rule = "=" * len(title)
+    return f"\n{rule}\n{title}\n{rule}"
+
+
+def show_figure(comparison, *, name: str, baseline: str = "baseline", title: str = ""):
+    """Print table + bar chart and archive the raw data as JSON."""
+    from repro.eval.figures import comparison_to_json, render_bars
+    from repro.eval.report import render_figure
+
+    print(render_figure(comparison, baseline=baseline, title=title))
+    print()
+    print(render_bars(comparison, baseline=baseline))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(comparison_to_json(comparison, baseline=baseline))
+    print(f"\nraw data archived: {path}")
+
+
+@pytest.fixture(scope="session")
+def paper_geom():
+    return DRAMGeometry.paper_default()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def print_system_config():
+    """Table 2 analogue: state what the simulated host is."""
+    geom = DRAMGeometry.paper_default()
+    print(banner("Simulated system configuration (paper Table 2 analogue)"))
+    print(geom.describe())
+    print(
+        "Security benches run on the bit-level small machine; performance "
+        "benches on the 32-bank medium machine (see DESIGN.md)."
+    )
+    yield

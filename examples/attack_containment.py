@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Inter-VM Rowhammer: baseline Linux/KVM vs Siloz, side by side.
+
+The same Blacksmith-style campaign runs from an attacker VM on two
+hypervisors sharing identical hardware and DIMM susceptibility:
+
+- **baseline**: VMs allocated back-to-back from the socket pool — the
+  attacker's rows are subarray-adjacent to the victim's, so flips cross
+  the VM boundary (the threat in paper §1).
+- **Siloz**: each VM confined to private subarray groups — the same
+  flips land only in the attacker's own memory (paper Table 3).
+
+Run:  python examples/attack_containment.py
+"""
+
+from repro.attack import attack_from_vm
+from repro.core import SilozHypervisor
+from repro.dram.disturbance import DisturbanceProfile
+from repro.hv import BaselineHypervisor, Machine, VmSpec
+from repro.units import KiB, MiB
+
+
+def campaign(hv, label: str) -> None:
+    attacker = hv.create_vm(VmSpec(name="attacker", memory_bytes=2 * MiB))
+    victim = hv.create_vm(VmSpec(name="victim", memory_bytes=2 * MiB))
+    # The victim fills all of its RAM with a known pattern.
+    pattern = b"\xa5" * (2 * MiB)
+    victim.write(0x0, pattern)
+
+    outcome = attack_from_vm(hv, attacker, seed=17, pattern_budget=120)
+
+    corrupted = victim.read(0x0, len(pattern), ecc=False) != pattern
+    print(f"--- {label} ---")
+    print(f"  flips induced: {outcome.report.flip_count}")
+    print(
+        "  flips in victim-owned memory (guest RAM or its host-side "
+        f"virtio/MMIO buffers): {outcome.victim_flips or 'none'}"
+    )
+    print(f"  victim guest-RAM pattern corrupted: {'YES' if corrupted else 'no'}")
+    print()
+
+
+def main() -> None:
+    dimm = DisturbanceProfile.test_scale(threshold_mean=1500.0)
+
+    print("Same hardware, same DIMM susceptibility, same attack.\n")
+    campaign(
+        BaselineHypervisor(
+            Machine.small(seed=17, profile=dimm), backing_page_bytes=64 * KiB
+        ),
+        "baseline Linux/KVM",
+    )
+    campaign(
+        SilozHypervisor.boot(Machine.small(seed=17, profile=dimm)),
+        "Siloz",
+    )
+    print(
+        "Siloz does not stop the hammering — it makes the blast radius\n"
+        "coincide with memory the attacker already owns."
+    )
+
+
+if __name__ == "__main__":
+    main()

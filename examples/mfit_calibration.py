@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Inferring the subarray size without vendor cooperation (paper §4.1).
+
+DDR4 does not report subarray sizes, and not every vendor will share
+them.  The paper applies the mFIT methodology: sweep double-sided
+Rowhammer probes across rows and watch where attacks *fail* — victims
+sitting against subarray boundaries only receive single-sided pressure.
+The failure positions repeat at the subarray period.
+
+This example runs the sweep on a simulated module, prints the per-row
+activation thresholds (boundaries stand out at ~2x), and boots Siloz
+with the inferred size.
+
+Run:  python examples/mfit_calibration.py
+"""
+
+from repro.attack.mfit import activations_to_flip, infer_subarray_rows
+from repro.core import SilozHypervisor
+from repro.dram.disturbance import DisturbanceProfile
+from repro.dram.module import SimulatedDram
+from repro.hv import Machine
+
+
+def main() -> None:
+    machine = Machine.small(seed=9)
+    geom = machine.geom
+    print(f"True (undisclosed) subarray size: {geom.rows_per_subarray} rows\n")
+
+    # Calibration pass on a scratch DRAM (pre-production burn-in).
+    probe = SimulatedDram(
+        geom,
+        profile=DisturbanceProfile.test_scale(threshold_mean=1500.0),
+        trr_config=None,
+        seed=9,
+    )
+
+    print("Per-victim activations-to-flip around the first boundary:")
+    boundary = geom.rows_per_subarray
+    for victim in range(boundary - 4, boundary + 4):
+        acts = activations_to_flip(probe, 0, 0, victim, cap=1 << 14)
+        marker = "  <-- boundary row" if victim in (boundary - 1, boundary) else ""
+        print(f"  row {victim:4d}: {acts if acts is not None else '> cap':>6}{marker}")
+
+    probe2 = SimulatedDram(
+        geom,
+        profile=DisturbanceProfile.test_scale(threshold_mean=1500.0),
+        trr_config=None,
+        seed=10,
+    )
+    inferred = infer_subarray_rows(probe2)
+    print(f"\nInferred subarray size: {inferred} rows")
+    assert inferred == geom.rows_per_subarray
+
+    hv = SilozHypervisor.boot(machine, infer_subarray_size=True)
+    print(f"\nSiloz booted with the inferred geometry:\n{hv.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: boot Siloz, place two VMs, hammer from one, watch nothing
+escape.
+
+This walks the library's core loop in ~40 lines of API:
+
+1. Build a simulated host (bit-level DRAM + Skylake-style mapping).
+2. Boot the Siloz hypervisor: every subarray group becomes a logical
+   NUMA node; EPT rows get guard-row protection.
+3. Create an attacker VM and a victim VM — Siloz puts them in private
+   subarray groups.
+4. Run a Rowhammer campaign from inside the attacker.
+5. Verify: bits flipped (the attack "worked"), but only inside the
+   attacker's own groups; the victim's data is intact.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.attack import attack_from_vm
+from repro.core import SilozHypervisor, audit_hypervisor
+from repro.hv import Machine, VmSpec
+from repro.units import MiB
+
+def main() -> None:
+    # A small host we can simulate bit-for-bit: 8 banks, 32 MiB,
+    # 64-row subarrays (the paper geometry scaled down ~6000x).
+    machine = Machine.small(seed=42)
+    print("Host DRAM:")
+    print(machine.geom.describe())
+
+    hv = SilozHypervisor.boot(machine)
+    print(f"\n{hv.describe()}\n")
+
+    attacker = hv.create_vm(VmSpec(name="attacker", memory_bytes=2 * MiB))
+    victim = hv.create_vm(VmSpec(name="victim", memory_bytes=2 * MiB))
+    print(f"attacker nodes={attacker.node_ids} groups={sorted(attacker.reserved_groups)}")
+    print(f"victim   nodes={victim.node_ids} groups={sorted(victim.reserved_groups)}")
+
+    # The victim stores something it cares about.
+    secret = b"\x5a" * 4096
+    victim.write(0x0, secret)
+
+    # The attacker fuzzes hammering patterns against its own memory —
+    # the only memory a guest can activate.
+    print("\nRunning Blacksmith-style campaign from inside 'attacker'...")
+    outcome = attack_from_vm(hv, attacker, seed=42, pattern_budget=30)
+    print(outcome.summary())
+
+    assert outcome.report.flip_count > 0, "expected the attack to flip bits"
+    assert outcome.contained, "Siloz must contain every flip"
+    assert victim.read(0x0, 4096) == secret, "victim data must be intact"
+    assert audit_hypervisor(hv) == [], "placement invariants must hold"
+
+    print(
+        f"\nResult: {outcome.report.flip_count} bit flips, all inside the "
+        "attacker's own subarray groups."
+    )
+    print("Victim data verified intact. Isolation audit: clean.")
+
+
+if __name__ == "__main__":
+    main()

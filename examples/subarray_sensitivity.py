@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Mini Figure 6/7: does the presumed subarray size cost performance?
+
+Siloz takes the subarray size as a boot parameter (paper §5.3).  Smaller
+presumed subarrays mean more, smaller logical NUMA nodes; larger ones
+mean fewer, bigger nodes.  §7.4 shows neither direction matters for
+performance, because DDR access timing and bank-level parallelism are
+independent of the subarray index.  This example reruns that experiment
+at example scale (fewer trials than the benches; see benchmarks/ for
+the full versions).
+
+Run:  python examples/subarray_sensitivity.py
+"""
+
+from repro.eval import perf_experiment, render_figure, siloz_system
+from repro.mm.numa import NodeKind
+
+WORKLOADS = ["redis-b", "terasort", "mlc-stream"]
+
+
+def main() -> None:
+    systems = [
+        siloz_system(name="siloz-1024", rows_per_subarray=128, seed=9),
+        siloz_system(name="siloz-512", rows_per_subarray=64, seed=9),
+        siloz_system(name="siloz-2048", rows_per_subarray=256, seed=9),
+    ]
+    print("Logical node counts per variant (the §7.4 management trade-off):")
+    for system in systems:
+        guests = len(system.hv.topology.nodes_of_kind(NodeKind.GUEST_RESERVED))
+        group = system.hv.managed_geom.subarray_group_bytes
+        print(
+            f"  {system.name:>10}: {guests:3d} guest-reserved nodes of "
+            f"{group // 2**20} MiB"
+        )
+
+    comparison = perf_experiment(
+        systems, WORKLOADS, metric="time", trials=3, accesses=8000
+    )
+    print()
+    print(
+        render_figure(
+            comparison,
+            baseline="siloz-1024",
+            title="Execution time vs Siloz-1024 (negative = faster). "
+            "Paper: no trend, <0.5% geomean.",
+        )
+    )
+    for name in ("siloz-512", "siloz-2048"):
+        ratio = comparison.geomean_ratio(name, baseline="siloz-1024")
+        print(f"geomean({name}/siloz-1024) = {ratio:.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+legacy editable-install path (``pip install -e . --no-use-pep517``) works
+on offline machines without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Siloz (SOSP 2023) reproduction.
+
+Siloz is a hypervisor that prevents inter-VM Rowhammer by confining each
+VM (and the host) to private DRAM *subarray groups* — silicon-isolated
+slices that still span every bank, preserving bank-level parallelism.
+This package reproduces the whole system on a simulated substrate: a
+bit-level DDR4 model, a Skylake-like address decode, Linux-style memory
+management (buddy/NUMA/cgroups), KVM-style EPTs, a baseline hypervisor,
+the Siloz hypervisor, a Blacksmith-style Rowhammer fuzzer, and the
+workload/measurement harness behind every table and figure.
+
+Quickstart::
+
+    from repro import DRAMGeometry, Machine, SilozHypervisor
+
+    machine = Machine.small()           # simulated host
+    hv = SilozHypervisor.boot(machine)  # Siloz with subarray-group nodes
+    vm = hv.create_vm(name="tenant0", memory_bytes=machine.geom.subarray_group_bytes)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.dram.disturbance import BitFlip, DisturbanceProfile
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.mapping import SkylakeMapping
+from repro.dram.module import SimulatedDram
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitFlip",
+    "DRAMGeometry",
+    "DisturbanceProfile",
+    "SimulatedDram",
+    "SkylakeMapping",
+    "__version__",
+]

@@ -1,0 +1,88 @@
+"""BLASTER-style blast-radius characterisation (paper §9 related work;
+feeds §5.4's guard margins).
+
+Guard-row counts must cover how *far* disturbance reaches ("4 guard rows
+per normal row on modern server DIMMs" in the ZebRAM discussion, §3).
+BLASTER characterises that blast radius empirically: hammer single rows
+hard, record how far from the aggressor bits flip.  This module does the
+same against the simulated DIMM so Siloz can derive its ``blast_radius``
+boot parameter from measurement instead of datasheet folklore:
+``SilozHypervisor.boot(machine, measure_blast_radius=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.module import SimulatedDram
+from repro.errors import AttackError
+
+
+@dataclass
+class BlastProfile:
+    """Observed flip distances from single-row hammering."""
+
+    samples: int = 0
+    flips_by_distance: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def max_distance(self) -> int:
+        return max(self.flips_by_distance, default=0)
+
+    @property
+    def total_flips(self) -> int:
+        return sum(self.flips_by_distance.values())
+
+    def radius(self, coverage: float = 1.0) -> int:
+        """Smallest radius covering *coverage* of observed flips.
+
+        Guard design wants 1.0 (every observed flip); loosen only for
+        best-effort analyses."""
+        if not 0 < coverage <= 1.0:
+            raise AttackError("coverage must be in (0, 1]")
+        if not self.flips_by_distance:
+            raise AttackError("no flips observed; hammer harder")
+        needed = coverage * self.total_flips
+        running = 0
+        for distance in sorted(self.flips_by_distance):
+            running += self.flips_by_distance[distance]
+            if running >= needed:
+                return distance
+        return self.max_distance
+
+
+def measure_blast_radius(
+    dram: SimulatedDram,
+    *,
+    socket: int = 0,
+    bank: int = 0,
+    aggressor_rows: list[int] | None = None,
+    activations: int = 20_000,
+) -> BlastProfile:
+    """Hammer single aggressors and histogram flip distances.
+
+    Aggressors default to a few rows mid-subarray (away from boundaries,
+    so clipping does not hide long-range flips).
+    """
+    geom = dram.geom
+    if aggressor_rows is None:
+        mid = geom.rows_per_subarray // 2
+        step = geom.rows_per_subarray
+        aggressor_rows = [
+            mid + k * step for k in range(min(3, geom.subarrays_per_bank))
+        ]
+    if not aggressor_rows:
+        raise AttackError("need at least one aggressor row")
+    profile = BlastProfile()
+    for row in aggressor_rows:
+        geom.check_row(row)
+        before = len(dram.flips_log)
+        for _ in range(activations):
+            dram.activate(socket, bank, row)
+        profile.samples += 1
+        for flip in dram.flips_log[before:]:
+            distance = abs(flip.row - row)
+            profile.flips_by_distance[distance] = (
+                profile.flips_by_distance.get(distance, 0) + 1
+            )
+    return profile

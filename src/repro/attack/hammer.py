@@ -1,0 +1,94 @@
+"""Pattern execution against the simulated DRAM (paper §7.1).
+
+These primitives issue the raw ACT streams.  They operate on absolute
+(bank-local) rows of one bank; offsets are clamped to the bank, matching
+how a real attacker can only activate rows they can address.
+"""
+
+from __future__ import annotations
+
+from repro.attack.patterns import HammerPattern
+from repro.dram.disturbance import BitFlip
+from repro.dram.module import SimulatedDram
+from repro.errors import AttackError
+
+
+def run_pattern(
+    dram: SimulatedDram,
+    socket: int,
+    bank: int,
+    base_row: int,
+    pattern: HammerPattern,
+    *,
+    sync_ref: bool = True,
+) -> list[BitFlip]:
+    """Execute *pattern* with its offsets anchored at *base_row*.
+
+    Offsets falling outside the bank are skipped (the attacker simply
+    has no such row).  With ``sync_ref`` (the Blacksmith trick) and a
+    pattern that has decoys, each round is aligned to the bank's next
+    TRR REF opportunity by padding with decoy activations, so the
+    sampler's deterministic post-REF observation slots see only decoys.
+    Returns all flips induced."""
+    geom = dram.geom
+    rows = []
+    for offset in pattern.order:
+        row = base_row + offset
+        if 0 <= row < geom.rows_per_bank:
+            rows.append(row)
+    if not rows:
+        raise AttackError(f"pattern has no in-bank rows at base {base_row}")
+    decoy_rows = [
+        base_row + offset
+        for offset in pattern.decoys
+        if 0 <= base_row + offset < geom.rows_per_bank
+    ]
+    synchronize = sync_ref and decoy_rows and dram.trr is not None
+    flips: list[BitFlip] = []
+    for _ in range(pattern.rounds):
+        if synchronize:
+            remaining = dram.acts_until_trr_ref(socket, bank)
+            # Burn the tail of this REF window on decoys so the round
+            # (decoys first, then aggressors) starts right after REF.
+            for i in range(remaining):
+                flips.extend(
+                    dram.activate(socket, bank, decoy_rows[i % len(decoy_rows)])
+                )
+        for row in rows:
+            flips.extend(dram.activate(socket, bank, row))
+    return flips
+
+
+def hammer_double_sided(
+    dram: SimulatedDram,
+    socket: int,
+    bank: int,
+    victim_row: int,
+    *,
+    activations: int = 4096,
+) -> list[BitFlip]:
+    """Classic double-sided hammer around *victim_row*."""
+    geom = dram.geom
+    geom.check_row(victim_row)
+    pattern = HammerPattern.double_sided(rounds=max(1, activations // 2))
+    return run_pattern(dram, socket, bank, victim_row, pattern)
+
+
+def hammer_pattern_rows(
+    dram: SimulatedDram,
+    socket: int,
+    bank: int,
+    rows: list[int],
+    *,
+    rounds: int,
+) -> list[BitFlip]:
+    """Interleave ACTs over explicit *rows* for *rounds* passes."""
+    if not rows:
+        raise AttackError("need at least one row")
+    for row in rows:
+        dram.geom.check_row(row)
+    flips: list[BitFlip] = []
+    for _ in range(rounds):
+        for row in rows:
+            flips.extend(dram.activate(socket, bank, row))
+    return flips

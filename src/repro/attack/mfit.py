@@ -1,0 +1,122 @@
+"""mFIT-style subarray-size inference (paper §4.1).
+
+DDR4 does not report subarray sizes.  Vendors can share them, but even
+without cooperation one can infer them: the paper applies the mFIT
+methodology to its evaluation server and observes *"a pattern of failed
+Rowhammer attacks at multiples of 1024 rows"*, inferring 1024-row
+subarrays.  The physics: a double-sided pair whose aggressors straddle a
+subarray boundary puts only *single-sided* pressure on the victim —
+roughly half — so boundary victims need about twice the activations to
+flip (or never flip within a budget).  Boundary spacing is the subarray
+size.
+
+:func:`activations_to_flip` measures one victim's effective threshold;
+:func:`infer_subarray_rows` sweeps victims, classifies the outliers as
+boundaries, and returns their period.  This is what lets Siloz run on a
+server whose DRAM vendor shares nothing.
+"""
+
+from __future__ import annotations
+
+from repro.dram.module import SimulatedDram
+from repro.errors import AttackError
+from repro.units import is_power_of_two
+
+
+def activations_to_flip(
+    dram: SimulatedDram,
+    socket: int,
+    bank: int,
+    victim_row: int,
+    *,
+    cap: int = 1 << 17,
+    step: int = 256,
+) -> int | None:
+    """Double-sided hammer around *victim_row* until it flips.
+
+    Returns the total activations issued when the first flip in the
+    victim appeared, or None if *cap* activations did not suffice (the
+    boundary signature when cap is generous)."""
+    geom = dram.geom
+    geom.check_row(victim_row)
+    lo, hi = victim_row - 1, victim_row + 1
+    if lo < 0 or hi >= geom.rows_per_bank:
+        raise AttackError(f"victim {victim_row} has no double-sided neighbours")
+    issued = 0
+    while issued < cap:
+        before = len(dram.flips_log)
+        for _ in range(step // 2):
+            dram.activate(socket, bank, lo)
+            dram.activate(socket, bank, hi)
+        issued += step
+        if any(f.row == victim_row for f in dram.flips_log[before:]):
+            return issued
+    return None
+
+
+def infer_subarray_rows(
+    dram: SimulatedDram,
+    *,
+    socket: int = 0,
+    bank: int = 0,
+    max_rows: int | None = None,
+    boundary_factor: float = 1.4,
+) -> int:
+    """Infer the subarray size from the per-row flip-threshold profile.
+
+    Probes every interior row of the first *max_rows* rows.  Victims
+    needing more than ``boundary_factor`` x the median activations (or
+    never flipping) sit against electrical isolation; their spacing is
+    the subarray size.  Raises if no boundary is visible (window too
+    small) or the pattern is aperiodic (heterogeneous subarrays, which
+    the paper handles with per-set groups, §4.1).
+    """
+    geom = dram.geom
+    limit = max_rows or min(geom.rows_per_bank, 4 * geom.rows_per_subarray)
+    if limit < 4:
+        raise AttackError("probe window too small")
+    needed: dict[int, int | None] = {}
+    for victim in range(1, limit - 1):
+        needed[victim] = activations_to_flip(dram, socket, bank, victim)
+    finite = sorted(v for v in needed.values() if v is not None)
+    if not finite:
+        raise AttackError("nothing flipped; raise the cap or susceptibility")
+    median = finite[len(finite) // 2]
+    failures = sorted(
+        victim
+        for victim, acts in needed.items()
+        if acts is None or acts > boundary_factor * median
+    )
+    # Boundaries always fail as *adjacent pairs* (rows k*S-1 and k*S:
+    # the last row of one subarray and the first of the next, each
+    # single-sided).  Lone high-threshold rows are just strong cells —
+    # filter them by requiring runs of at least two adjacent failures.
+    runs: list[list[int]] = []
+    for row in failures:
+        if runs and row == runs[-1][-1] + 1:
+            runs[-1].append(row)
+        else:
+            runs.append([row])
+    starts = [run[0] for run in runs if len(run) >= 2]
+    if not starts:
+        raise AttackError(
+            f"no boundary pair found in {limit} rows; widen the probe window"
+        )
+    if len(starts) == 1:
+        return starts[0] + 1  # failure pairs begin at S-1
+    gaps = {b - a for a, b in zip(starts, starts[1:])}
+    if len(gaps) != 1:
+        raise AttackError(
+            f"aperiodic boundary pattern {starts}: heterogeneous subarrays?"
+        )
+    return gaps.pop()
+
+
+def verify_inference(dram: SimulatedDram, inferred_rows: int) -> bool:
+    """Sanity conditions the paper checks: the inferred size divides the
+    bank and is in the modern 512-2048 range — or, for scaled test
+    geometries, is at least a power of two."""
+    geom = dram.geom
+    if inferred_rows <= 0 or geom.rows_per_bank % inferred_rows:
+        return False
+    return is_power_of_two(inferred_rows) or 512 <= inferred_rows <= 2048

@@ -1,0 +1,101 @@
+"""DRAMA-style row-buffer timing side channel (paper §8.4, §9).
+
+DRAMA showed that DRAM accesses leak through timing: if an attacker and
+a victim share a *bank*, the victim's activity evicts the attacker's row
+from the row buffer, and the attacker's probe latency reveals it.
+
+Siloz's subarray groups deliberately share banks (that is where the
+performance comes from, §4.1), so this channel *survives* Siloz — the
+paper is explicit that combining Rowhammer isolation with side-channel
+mitigations is future work, and that logical NUMA nodes could manage
+bank/rank/channel isolation domains for exactly this (§8.4).  The probe
+here demonstrates both halves: the leak across subarray groups in the
+same bank, and its disappearance under bank-level isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AttackError
+from repro.memctrl.scheduler import BankState
+from repro.memctrl.timings import DDR4Timings
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Average attacker probe latency with and without victim traffic."""
+
+    idle_latency_ns: float
+    active_latency_ns: float
+    threshold_ns: float
+
+    @property
+    def leak_detected(self) -> bool:
+        """The attacker can distinguish victim-active from victim-idle."""
+        return self.active_latency_ns - self.idle_latency_ns > self.threshold_ns
+
+    def __str__(self) -> str:
+        verdict = "LEAK" if self.leak_detected else "no leak"
+        return (
+            f"probe latency idle={self.idle_latency_ns:.2f}ns "
+            f"active={self.active_latency_ns:.2f}ns -> {verdict}"
+        )
+
+
+def _probe_run(
+    attacker_row: int,
+    victim_row: int | None,
+    *,
+    same_bank: bool,
+    probes: int,
+    timings: DDR4Timings,
+) -> float:
+    """Average attacker latency over *probes* rounds; each round is one
+    attacker access optionally interleaved with one victim access."""
+    attacker_bank = BankState()
+    victim_bank = attacker_bank if same_bank else BankState()
+    now = 0.0
+    total = 0.0
+    attacker_bank.access(attacker_row, now, timings)  # warm the buffer
+    for _ in range(probes):
+        if victim_row is not None:
+            done, _ = victim_bank.access(victim_row, now, timings)
+            now = done
+        done, _ = attacker_bank.access(attacker_row, now, timings)
+        total += done - now
+        now = done
+    return total / probes
+
+
+def drama_probe(
+    *,
+    attacker_row: int = 100,
+    victim_row: int = 5000,
+    shared_bank: bool = True,
+    probes: int = 200,
+    timings: DDR4Timings | None = None,
+) -> ProbeResult:
+    """Run the DRAMA experiment.
+
+    ``shared_bank=True`` models Siloz's default (subarray groups share
+    every bank: attacker and victim rows differ — they may even be in
+    different subarray groups — but conflict in the row buffer).
+    ``shared_bank=False`` models bank-level isolation domains (§8.4).
+    """
+    if probes <= 0:
+        raise AttackError("probes must be positive")
+    if attacker_row == victim_row:
+        raise AttackError("attacker and victim must use distinct rows")
+    t = timings or DDR4Timings.ddr4_2933()
+    idle = _probe_run(
+        attacker_row, None, same_bank=shared_bank, probes=probes, timings=t
+    )
+    active = _probe_run(
+        attacker_row, victim_row, same_bank=shared_bank, probes=probes, timings=t
+    )
+    # Detection threshold: half the hit/conflict latency difference.
+    threshold = (t.miss_latency - t.hit_latency) / 2
+    return ProbeResult(
+        idle_latency_ns=idle, active_latency_ns=active, threshold_ns=threshold
+    )

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives operators the paper's experiments without writing code:
+
+- ``info`` — simulated hardware and Siloz topology summary,
+- ``attack`` — a containment campaign on Siloz or the baseline,
+- ``perf`` — regenerate Figure 4/5/6/7 data at chosen fidelity,
+- ``overheads`` — the §3/§5.4/§6 reservation arithmetic,
+- ``softrefresh`` — the §8.3 deadline study.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.units import MiB, fmt_bytes
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.core import SilozHypervisor
+    from repro.dram.geometry import DRAMGeometry
+    from repro.hv import Machine
+    from repro.mm.numa import NodeKind
+
+    print("Paper-scale geometry (Table 2):")
+    print(DRAMGeometry.paper_default().describe())
+    print("\nBooting Siloz on the bit-level small machine:")
+    hv = SilozHypervisor.boot(Machine.small(seed=args.seed))
+    print(hv.describe())
+    for kind in NodeKind:
+        nodes = hv.topology.nodes_of_kind(kind)
+        if nodes:
+            print(f"  {kind.value}: {len(nodes)} node(s), "
+                  f"{fmt_bytes(sum(n.total_bytes for n in nodes))} total")
+    print(f"  guard rows offlined: {fmt_bytes(hv.offline.total_bytes())}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attack import attack_from_vm
+    from repro.core import SilozHypervisor, audit_hypervisor
+    from repro.hv import BaselineHypervisor, Machine, VmSpec
+    from repro.units import KiB
+
+    machine = Machine.small(seed=args.seed)
+    if args.hypervisor == "siloz":
+        hv = SilozHypervisor.boot(machine)
+    else:
+        hv = BaselineHypervisor(machine, backing_page_bytes=64 * KiB)
+    attacker = hv.create_vm(VmSpec(name="attacker", memory_bytes=2 * MiB))
+    hv.create_vm(VmSpec(name="victim", memory_bytes=2 * MiB))
+    print(f"hypervisor: {args.hypervisor}; fuzzing {args.budget} patterns...")
+    outcome = attack_from_vm(
+        hv, attacker, seed=args.seed, pattern_budget=args.budget
+    )
+    print(outcome.summary())
+    verdict = "CONTAINED" if outcome.contained and not outcome.victim_flips else "ESCAPED"
+    print(f"verdict: {verdict}")
+    if args.hypervisor == "siloz":
+        violations = audit_hypervisor(hv)
+        print(f"isolation audit: {violations or 'clean'}")
+        return 0 if verdict == "CONTAINED" and not violations else 1
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.eval import (
+        baseline_system,
+        perf_experiment,
+        render_figure,
+        siloz_system,
+    )
+    from repro.workloads import EXEC_TIME_SUITES, THROUGHPUT_SUITES
+
+    figure = args.figure
+    metric = "time" if figure in (4, 6) else "bandwidth"
+    workloads = list(EXEC_TIME_SUITES if figure in (4, 6) else THROUGHPUT_SUITES)
+    if figure in (4, 5):
+        systems = [baseline_system(seed=args.seed), siloz_system(seed=args.seed)]
+        baseline = "baseline"
+    else:
+        systems = [
+            siloz_system(name="siloz-1024", rows_per_subarray=128, seed=args.seed),
+            siloz_system(name="siloz-512", rows_per_subarray=64, seed=args.seed),
+            siloz_system(name="siloz-2048", rows_per_subarray=256, seed=args.seed),
+        ]
+        baseline = "siloz-1024"
+    comparison = perf_experiment(
+        systems, workloads, metric=metric, trials=args.trials, accesses=args.accesses
+    )
+    print(
+        render_figure(
+            comparison,
+            baseline=baseline,
+            title=f"Figure {figure} ({metric}, {args.trials} trials, "
+            f"{args.accesses} accesses/trial)",
+        )
+    )
+    return 0
+
+
+def _cmd_overheads(args: argparse.Namespace) -> int:
+    from repro.core import SilozConfig
+    from repro.dram.geometry import DRAMGeometry
+    from repro.dram.transforms import (
+        artificial_group_reservation,
+        scrambling_offline_fraction,
+        zebram_overhead,
+    )
+    from repro.ept import ept_page_count
+
+    geom = DRAMGeometry.paper_default()
+    cfg = SilozConfig.paper_default()
+    print(f"EPT+guard reservation: {cfg.reserved_fraction(geom) * 100:.4f}% of DRAM")
+    print(
+        f"EPT pages for a packed socket: {ept_page_count(geom.socket_bytes)} "
+        f"(row group holds {geom.row_group_bytes // 4096})"
+    )
+    for size in (513, 1023, 2047):
+        print(
+            f"subarray={size} rows: scrambling removal "
+            f"{scrambling_offline_fraction(size) * 100:.2f}%, artificial groups "
+            f"{artificial_group_reservation(size)[1] * 100:.2f}%"
+        )
+    print(f"ZebRAM overhead: 1:1={zebram_overhead(1):.0%}, 4:1={zebram_overhead(4):.0%}")
+    return 0
+
+
+def _cmd_softrefresh(args: argparse.Namespace) -> int:
+    from repro.core.softrefresh import RefreshScheme, compare_schemes
+
+    results = compare_schemes(duration_s=args.duration, seed=args.seed)
+    for scheme in RefreshScheme:
+        log = results[scheme]
+        print(
+            f"{scheme.value:>10}: misses={log.missed_deadlines}/{log.refreshes} "
+            f"min={log.min_interval_ms:.3f}ms max={log.max_interval_ms:.3f}ms "
+            f"{'VULNERABLE' if log.vulnerable else 'safe'}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Siloz (SOSP 2023) reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global RNG seed")
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="stream library logs (boot, placement, attacks, MCEs)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show simulated hardware and topology")
+
+    attack = sub.add_parser("attack", help="run a containment campaign")
+    attack.add_argument(
+        "--hypervisor", choices=("siloz", "baseline"), default="siloz"
+    )
+    attack.add_argument("--budget", type=int, default=40, help="fuzzer patterns")
+
+    perf = sub.add_parser("perf", help="regenerate a performance figure")
+    perf.add_argument("--figure", type=int, choices=(4, 5, 6, 7), required=True)
+    perf.add_argument("--trials", type=int, default=3)
+    perf.add_argument("--accesses", type=int, default=8000)
+
+    sub.add_parser("overheads", help="reservation arithmetic (O1/O2)")
+
+    refresh = sub.add_parser("softrefresh", help="§8.3 deadline study")
+    refresh.add_argument("--duration", type=float, default=30.0, help="seconds")
+
+    return parser
+
+
+_HANDLERS = {
+    "info": _cmd_info,
+    "attack": _cmd_attack,
+    "perf": _cmd_perf,
+    "overheads": _cmd_overheads,
+    "softrefresh": _cmd_softrefresh,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        from repro.log import enable_console_logging
+
+        enable_console_logging()
+    return _HANDLERS[args.command](args)

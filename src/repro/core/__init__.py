@@ -1,0 +1,24 @@
+"""The paper's contribution: the Siloz hypervisor (paper §5).
+
+- :mod:`repro.core.config` — Siloz boot parameters (subarray size,
+  EPT guard block b/o, protection mode),
+- :mod:`repro.core.groups` — boot-time subarray-group computation and
+  logical-NUMA-node provisioning (§5.2, §5.3),
+- :mod:`repro.core.siloz` — the hypervisor itself (§5.1-§5.4),
+- :mod:`repro.core.policy` — isolation audits (invariant checks the
+  tests and security benches assert),
+- :mod:`repro.core.softrefresh` — the rejected software-refresh
+  alternative for EPT protection (§8.3).
+"""
+
+from repro.core.config import EptProtection, SilozConfig
+from repro.core.siloz import SilozHypervisor
+from repro.core.policy import audit_hypervisor, flips_escaping_vm
+
+__all__ = [
+    "EptProtection",
+    "SilozConfig",
+    "SilozHypervisor",
+    "audit_hypervisor",
+    "flips_escaping_vm",
+]

@@ -1,0 +1,189 @@
+"""Siloz boot configuration (paper §5.3, §5.4).
+
+The paper's deployment passes the subarray size as a kernel boot
+parameter and hard-codes the EPT guard block shape: ``b = 32`` reserved
+row groups per socket with the EPT row group at offset ``o = 12``, i.e.
+12 guard row groups below and 19 above — enough margin to prevent bit
+flips even if DIMM-internal half-row remaps (§2.3, §6) shuffle adjacency
+within 32-aligned blocks.
+
+For the bit-for-bit test machines (8- or 64-row subarrays), the block is
+scaled proportionally so it still fits inside one subarray; the o/b
+ratio and the "guards on both sides exceed the blast radius" invariant
+are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.dram.geometry import DRAMGeometry
+from repro.errors import PlacementError
+
+
+class EptProtection(Enum):
+    """How EPT integrity is ensured (§5.4)."""
+
+    GUARD_ROWS = "guard-rows"  # software-only: offlined barrier rows
+    SECURE_EPT = "secure-ept"  # TDX/SNP detect-on-use integrity checks
+    NONE = "none"  # for experiments that demonstrate the attack
+
+
+@dataclass(frozen=True)
+class SilozConfig:
+    """Boot parameters for a Siloz instance."""
+
+    #: Presumed subarray size in rows (the §5.3 boot parameter).  ``None``
+    #: uses the geometry's true value; §7.4 passes 512/2048 here.
+    rows_per_subarray: int | None = None
+    #: Reserved row groups per socket for EPT protection (paper: b = 32).
+    ept_block_row_groups: int = 32
+    #: EPT row group's offset within the block (paper: o = 12).
+    ept_row_group_offset: int = 12
+    #: EPT row groups at that offset.  The paper's geometry needs
+    #: exactly 1 (a 1.5 MiB row group holds 384 EPT pages); tiny test
+    #: geometries scale this up so the EPT pool still fits a fleet of
+    #: VMs.
+    ept_row_group_count: int = 1
+    #: Spacing between EPT row groups when count > 1.  EPT walks
+    #: activate EPT rows at high rates, so multiple EPT rows must sit
+    #: beyond each other's blast radius — guards fill the gaps.
+    ept_row_group_stride: int = 1
+    #: Which subarray group per socket is host-reserved (§5.2: one per
+    #: socket; the rest are guest-reserved).
+    host_group_index: int = 0
+    ept_protection: EptProtection = EptProtection.GUARD_ROWS
+    #: Blast radius the guard margins must exceed (modern DIMMs: 4; the
+    #: test-scale disturbance profile uses 2).
+    blast_radius: int = 4
+
+    def __post_init__(self) -> None:
+        b, o, k, s = (
+            self.ept_block_row_groups,
+            self.ept_row_group_offset,
+            self.ept_row_group_count,
+            self.ept_row_group_stride,
+        )
+        if b <= 0 or k <= 0 or s <= 0:
+            raise PlacementError("block size, EPT row count and stride must be positive")
+        if k > 1 and s <= self.blast_radius:
+            raise PlacementError(
+                f"EPT row stride {s} must exceed the blast radius "
+                f"({self.blast_radius}): EPT walks hammer EPT rows"
+            )
+        last = o + (k - 1) * s
+        if not 0 <= o or last >= b:
+            raise PlacementError(
+                f"EPT rows at offsets {o}..{last} must lie within the block [0, {b})"
+            )
+        if self.ept_protection is EptProtection.GUARD_ROWS:
+            below, above = o, b - last - 1
+            if below < self.blast_radius or above < self.blast_radius:
+                raise PlacementError(
+                    f"guard margins (below={below}, above={above}) must cover "
+                    f"the blast radius ({self.blast_radius})"
+                )
+            # §5.4: margins must also survive DIMM-internal half-row
+            # remaps within the (power-of-two) block — this is what
+            # makes the paper's b=32, o=12 the right choice.
+            from repro.units import is_power_of_two
+
+            if is_power_of_two(b):
+                from repro.core.guards import assert_remap_safe
+
+                for i in range(k):
+                    assert_remap_safe(
+                        o + i * s, 1, block_rows=b, radius=self.blast_radius
+                    )
+
+    @classmethod
+    def paper_default(cls) -> "SilozConfig":
+        """b=32, o=12 on 1024-row subarrays (§5.4)."""
+        return cls()
+
+    @classmethod
+    def scaled_for(
+        cls,
+        geom: DRAMGeometry,
+        *,
+        blast_radius: int = 2,
+        ept_protection: EptProtection = EptProtection.GUARD_ROWS,
+        rows_per_subarray: int | None = None,
+    ) -> "SilozConfig":
+        """Shrink the guard block for small test geometries, keeping the
+        o/b ratio of 12/32 and the margin invariant."""
+        rows = rows_per_subarray or geom.rows_per_subarray
+        # Size the EPT pool to hold ~64 table pages even on tiny row
+        # groups (the paper's 1.5 MiB row group holds 384 on its own);
+        # multiple EPT rows are spread a blast radius apart so the walk
+        # traffic on one cannot disturb another.
+        pages_per_row_group = max(1, geom.row_group_bytes // (4 * 1024))
+        count = max(1, -(-64 // pages_per_row_group))
+        if ept_protection is not EptProtection.GUARD_ROWS:
+            count = 1  # EPT pages come from the host pool, no block pool
+        stride = 1 if count == 1 else blast_radius + 1
+        span = (count - 1) * stride
+        # Grow the block (power-of-two, at most one subarray) and nudge
+        # the offset until the layout fits and is remap-safe.
+        b = min(32, rows)
+        last_error: PlacementError | None = None
+        while b <= rows:
+            preferred = max(blast_radius, b * 12 // 32)
+            offsets = [preferred] + [
+                o for o in range(blast_radius, b - span - blast_radius)
+            ]
+            for o in offsets:
+                try:
+                    return cls(
+                        rows_per_subarray=rows_per_subarray,
+                        ept_block_row_groups=b,
+                        ept_row_group_offset=o,
+                        ept_row_group_count=count,
+                        ept_row_group_stride=stride,
+                        blast_radius=blast_radius,
+                        ept_protection=ept_protection,
+                    )
+                except PlacementError as exc:
+                    last_error = exc
+            b *= 2
+        raise PlacementError(
+            f"subarray of {rows} rows too small for guard block "
+            f"(count={count}, stride={stride}, radius={blast_radius}): "
+            f"{last_error}"
+        )
+
+    def effective_rows_per_subarray(self, geom: DRAMGeometry) -> int:
+        return self.rows_per_subarray or geom.rows_per_subarray
+
+    def effective_geometry(self, geom: DRAMGeometry) -> DRAMGeometry:
+        """The geometry as Siloz manages it: hardware shape plus the
+        *presumed* subarray size (§7.4's Siloz-512/-1024/-2048)."""
+        rows = self.effective_rows_per_subarray(geom)
+        if rows == geom.rows_per_subarray:
+            return geom
+        return geom.with_subarray_rows(rows)
+
+    def validate_against(self, geom: DRAMGeometry) -> None:
+        """Check this config is realisable on *geom* (divisibility, fit)."""
+        rows = self.effective_rows_per_subarray(geom)
+        if geom.rows_per_bank % rows:
+            raise PlacementError(
+                f"presumed subarray size {rows} does not divide "
+                f"rows_per_bank {geom.rows_per_bank}"
+            )
+        if self.ept_block_row_groups > rows:
+            raise PlacementError(
+                f"EPT block ({self.ept_block_row_groups} row groups) must fit "
+                f"inside one subarray ({rows} rows)"
+            )
+
+    @property
+    def guard_row_groups(self) -> int:
+        """Guard row groups per socket (the block minus the EPT rows)."""
+        return self.ept_block_row_groups - self.ept_row_group_count
+
+    def reserved_fraction(self, geom: DRAMGeometry) -> float:
+        """Fraction of DRAM reserved for EPTs + guards: the paper's
+        ~0.024 % (32 rows of 8 KiB per 1 GiB bank)."""
+        return (self.ept_block_row_groups * geom.row_bytes) / geom.bank_bytes

@@ -1,0 +1,163 @@
+"""Boot-time subarray-group provisioning (paper §5.2, §5.3).
+
+During early boot Siloz (1) computes every subarray group's host-physical
+address ranges from the BIOS-fixed mapping, (2) provisions one logical
+NUMA node per group — host-reserved for one group per socket (keeping the
+socket's cores), guest-reserved (memory-only) for the rest, (3) carves
+the EPT row group out of the host group as its own EPT-reserved node,
+and (4) offlines the surrounding guard row groups (§5.4).
+
+Node numbering: host nodes take ids ``0..sockets-1`` (mirroring the
+baseline so host software is unaffected), guest nodes follow, EPT nodes
+come last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import EptProtection, SilozConfig
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.mapping import AddressRange, SkylakeMapping, merge_ranges, subtract_ranges
+from repro.mm.numa import NodeKind, NumaNode, NumaTopology
+from repro.mm.offline import OfflineReason, OfflineRegistry
+
+
+@dataclass
+class ProvisionResult:
+    """Everything the boot path computed, for the hypervisor to keep."""
+
+    topology: NumaTopology
+    #: (socket, group) -> node id
+    node_of_group: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: socket -> EPT node id
+    ept_node_of_socket: dict[int, int] = field(default_factory=dict)
+    #: socket -> guard row-group HPA ranges (offlined)
+    guard_ranges: dict[int, list[AddressRange]] = field(default_factory=dict)
+    #: socket -> EPT row-group HPA ranges
+    ept_ranges: dict[int, list[AddressRange]] = field(default_factory=dict)
+
+    def guest_node_ids(self, socket: int | None = None) -> list[int]:
+        return [
+            n.node_id
+            for n in self.topology.nodes_of_kind(NodeKind.GUEST_RESERVED)
+            if socket is None or n.physical_node == socket
+        ]
+
+
+def ept_block_rows(config: SilozConfig, geom: DRAMGeometry) -> range:
+    """Bank-local rows of the reserved EPT block: the first ``b`` rows of
+    the host group's first subarray."""
+    rows = config.effective_rows_per_subarray(geom)
+    start = config.host_group_index * rows
+    return range(start, start + config.ept_block_row_groups)
+
+
+def ept_rows(config: SilozConfig, geom: DRAMGeometry) -> range:
+    """The bank-local rows whose row groups hold the EPTs (offset o,
+    count k, spread ``stride`` apart; the paper uses k=1)."""
+    start = ept_block_rows(config, geom).start + config.ept_row_group_offset
+    stride = config.ept_row_group_stride
+    return range(start, start + config.ept_row_group_count * stride, stride)
+
+
+def ept_row(config: SilozConfig, geom: DRAMGeometry) -> int:
+    """The first EPT row (the paper's single row group at offset o)."""
+    return ept_rows(config, geom).start
+
+
+def provision(
+    machine_geom: DRAMGeometry,
+    mapping: SkylakeMapping,
+    config: SilozConfig,
+    socket_cores: dict[int, tuple[int, ...]],
+    offline: OfflineRegistry,
+) -> ProvisionResult:
+    """Build the full logical-node topology for one host (§5.3).
+
+    ``socket_cores`` maps socket -> its core ids (host nodes own them).
+    Guard row groups are offlined through *offline* so the reservation is
+    visible in the accounting benches.
+    """
+    config.validate_against(machine_geom)
+    geom = config.effective_geometry(machine_geom)
+    result = ProvisionResult(topology=NumaTopology())
+    guest_nodes_needed = geom.sockets * (geom.groups_per_socket - 1)
+    next_guest_id = geom.sockets
+    next_ept_id = geom.sockets + guest_nodes_needed
+
+    managed_mapping = SkylakeMapping(
+        geom, mapping.chunk_row_groups, mapping.chunks_per_range
+    )
+
+    guard_protected = config.ept_protection is EptProtection.GUARD_ROWS
+    for socket in range(geom.sockets):
+        ept_ranges: list[AddressRange] = []
+        guard_ranges: list[AddressRange] = []
+        if guard_protected:
+            block = ept_block_rows(config, geom)
+            ept_rgs = ept_rows(config, geom)
+            ept_ranges = merge_ranges(
+                [
+                    r
+                    for row in ept_rgs
+                    for r in managed_mapping.row_group_ranges(socket, row)
+                ]
+            )
+            guard_ranges = merge_ranges(
+                [
+                    r
+                    for row in block
+                    if row not in ept_rgs
+                    for r in managed_mapping.row_group_ranges(socket, row)
+                ]
+            )
+        result.ept_ranges[socket] = ept_ranges
+        result.guard_ranges[socket] = guard_ranges
+
+        for group in range(geom.groups_per_socket):
+            ranges = managed_mapping.subarray_group_ranges(socket, group)
+            if group == config.host_group_index:
+                node = NumaNode(
+                    node_id=socket,
+                    kind=NodeKind.HOST_RESERVED,
+                    physical_node=socket,
+                    ranges=subtract_ranges(ranges, ept_ranges),
+                    cpus=socket_cores.get(socket, ()),
+                    subarray_groups=(group,),
+                )
+                result.topology.add(node)
+                # Offline the guard row groups out of the host node's pool.
+                for guard in guard_ranges:
+                    offline.offline(node, guard, OfflineReason.GUARD_ROW)
+            else:
+                node = NumaNode(
+                    node_id=next_guest_id,
+                    kind=NodeKind.GUEST_RESERVED,
+                    physical_node=socket,
+                    ranges=ranges,
+                    cpus=(),
+                    subarray_groups=(group,),
+                )
+                result.topology.add(node)
+                next_guest_id += 1
+            result.node_of_group[(socket, group)] = node.node_id
+
+        if guard_protected:
+            # The EPT row group becomes its own logical node; GFP_EPT
+            # allocations (§5.4) are routed here.
+            ept_node = NumaNode(
+                node_id=next_ept_id,
+                kind=NodeKind.EPT_RESERVED,
+                physical_node=socket,
+                ranges=ept_ranges,
+                cpus=(),
+                subarray_groups=(config.host_group_index,),
+            )
+            result.topology.add(ept_node)
+            result.ept_node_of_socket[socket] = ept_node.node_id
+            next_ept_id += 1
+        # SECURE_EPT / NONE: EPT pages come from the host pool — the
+        # hardware checker (or nothing) protects them.
+
+    return result

@@ -1,0 +1,93 @@
+"""Guard-block safety analysis under half-row remaps (paper §5.4, §6).
+
+The paper chooses ``b = 32`` and ``o = 12`` so that the EPT row keeps
+enough guard rows on both sides *"in spite of potential DIMM-internal
+half-row (§2.3) remaps affecting adjacency within 32-aligned blocks"*.
+The remaps in question are the DDR4 mirroring/inversion transforms: a
+row at offset o inside a 32-aligned block may physically sit at a
+different in-block position on odd ranks and B-side half-rows.
+
+This module computes the set of in-block positions an EPT row can
+occupy across every (rank parity, side) combination and checks that all
+of them keep at least ``radius`` rows of in-block distance to both block
+edges — because everything inside the block except the EPT rows is an
+offlined guard row, the only dangerous neighbours are rows *outside*
+the block, and those are at least edge-distance away.
+
+For the paper's o = 12: mirroring/inversion map offset 12 to {12, 20},
+both ≥ 11 rows from either edge — which is exactly the "roughly split
+above and below" description in §5.4.
+"""
+
+from __future__ import annotations
+
+from repro.dram.transforms import Side, TransformConfig
+from repro.errors import PlacementError
+from repro.units import is_power_of_two
+
+
+def internal_positions(offset: int, block_rows: int = 32) -> set[int]:
+    """In-block positions *offset* may occupy under DDR4 mirroring and
+    inversion, over all (rank, side) combinations.
+
+    Only transforms of the in-block address bits move the position;
+    higher-bit transforms relocate whole blocks and preserve in-block
+    adjacency.  Requires a power-of-two *block_rows* (in-block bits are
+    then exactly the low log2(block_rows) bits)."""
+    if not is_power_of_two(block_rows):
+        raise PlacementError(f"block must be a power of two, got {block_rows}")
+    if not 0 <= offset < block_rows:
+        raise PlacementError(f"offset {offset} outside block [0, {block_rows})")
+    cfg = TransformConfig()
+    positions = set()
+    for rank in (0, 1):
+        for side in (Side.A, Side.B):
+            positions.add(cfg.internal_row(offset, rank, side) % block_rows)
+    return positions
+
+
+def edge_margin(offset: int, block_rows: int = 32) -> int:
+    """Worst-case in-block distance from any internal position of
+    *offset* to the nearest block edge."""
+    margins = [
+        min(pos, block_rows - 1 - pos)
+        for pos in internal_positions(offset, block_rows)
+    ]
+    return min(margins)
+
+
+def block_is_remap_safe(
+    offset: int,
+    count: int = 1,
+    *,
+    block_rows: int = 32,
+    radius: int = 4,
+) -> bool:
+    """True when EPT rows at offsets [offset, offset+count) keep >=
+    *radius* guard rows to both block edges under every half-row remap.
+    """
+    if count <= 0:
+        raise PlacementError("count must be positive")
+    return all(
+        edge_margin(offset + i, block_rows) >= radius for i in range(count)
+    )
+
+
+def assert_remap_safe(
+    offset: int,
+    count: int,
+    *,
+    block_rows: int,
+    radius: int,
+) -> None:
+    """Raise :class:`PlacementError` with the failing positions when a
+    configuration is not remap-safe (used by SilozConfig validation)."""
+    for i in range(count):
+        margin = edge_margin(offset + i, block_rows)
+        if margin < radius:
+            positions = sorted(internal_positions(offset + i, block_rows))
+            raise PlacementError(
+                f"EPT row at block offset {offset + i} can internally sit at "
+                f"{positions} (margin {margin} < blast radius {radius}) — "
+                f"half-row remaps would defeat the guards"
+            )

@@ -1,0 +1,131 @@
+"""Isolation audits: the invariants Siloz promises (paper §5.1, §7.1).
+
+These checks never mutate anything; they inspect a hypervisor and report
+violations.  Under Siloz the list must be empty (tests assert that);
+under the baseline the same audits *find* the co-location that makes
+inter-VM Rowhammer possible, which is how the security benches show the
+contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.disturbance import BitFlip
+from repro.hv.hypervisor import Hypervisor
+from repro.hv.vm import VirtualMachine, VmState
+from repro.mm.numa import NodeKind
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One isolation-audit finding."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+def _groups_of(hv: Hypervisor, vm: VirtualMachine) -> set:
+    return hv.groups_of_vm(vm)
+
+
+def audit_hypervisor(hv: Hypervisor) -> list[Violation]:
+    """All placement invariants at once.
+
+    1. Every VM's unmediated backing lies within its reserved groups
+       (vacuous for the baseline, which reserves nothing).
+    2. No two running VMs share a subarray group.
+    3. No VM shares a group with host-reserved memory.
+    4. Mediated backing lies on host-reserved nodes.
+    """
+    violations: list[Violation] = []
+    running = [vm for vm in hv.vms.values() if vm.state is VmState.RUNNING]
+    host_groups = {
+        (n.physical_node, g)
+        for n in hv.topology.nodes_of_kind(NodeKind.HOST_RESERVED)
+        for g in n.subarray_groups
+    }
+
+    groups_by_vm = {vm.name: _groups_of(hv, vm) for vm in running}
+
+    for vm in running:
+        groups = groups_by_vm[vm.name]
+        if vm.reserved_groups and not groups <= set(vm.reserved_groups):
+            stray = groups - set(vm.reserved_groups)
+            violations.append(
+                Violation(
+                    "escape",
+                    f"VM {vm.name} has unmediated pages in non-reserved "
+                    f"groups {sorted(stray)}",
+                )
+            )
+        overlap = groups & host_groups
+        if vm.reserved_groups and overlap:
+            violations.append(
+                Violation(
+                    "host-overlap",
+                    f"VM {vm.name} shares groups {sorted(overlap)} with the host",
+                )
+            )
+        for r in vm.mediated_backing:
+            node = hv.topology.node_of_addr(r.start)
+            if node.kind is not NodeKind.HOST_RESERVED:
+                violations.append(
+                    Violation(
+                        "mediated-misplaced",
+                        f"VM {vm.name} mediated range {r} on {node.kind.value} "
+                        f"node {node.node_id}",
+                    )
+                )
+
+    names = sorted(groups_by_vm)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            shared = groups_by_vm[a] & groups_by_vm[b]
+            if shared:
+                violations.append(
+                    Violation(
+                        "co-location",
+                        f"VMs {a} and {b} share subarray groups {sorted(shared)}",
+                    )
+                )
+    return violations
+
+
+def flips_escaping_vm(hv: Hypervisor, attacker: VirtualMachine) -> list[BitFlip]:
+    """Bit flips (already logged by the DRAM) that landed *outside* the
+    attacker's groups — the quantity Table 3 shows is zero under Siloz.
+
+    For the baseline (no reserved groups), the attacker's actually-
+    occupied groups are used, so the same query is meaningful there.
+    """
+    groups = set(attacker.reserved_groups) or _groups_of(hv, attacker)
+    # Flips are accounted in the *managed* geometry's group units.
+    geom = getattr(hv, "managed_geom", hv.machine.geom)
+    return [
+        f
+        for f in hv.machine.dram.flips_log
+        if (f.socket, f.row // geom.rows_per_subarray) not in groups
+    ]
+
+
+def flips_in_vm(hv: Hypervisor, victim: VirtualMachine) -> list[BitFlip]:
+    """Flips that corrupted memory currently backing *victim*."""
+    out = []
+    mapping = hv.machine.mapping
+    geom = hv.machine.geom
+    for flip in hv.machine.dram.flips_log:
+        # Reconstruct the flip's HPA via its media coordinates (column
+        # unknown: check the whole row's span against the VM's ranges).
+        from repro.dram.media import MediaAddress
+
+        media = MediaAddress.from_socket_bank(
+            geom, flip.socket, flip.bank, flip.row, (flip.bit // 8 // 64) * 64
+        )
+        hpa = mapping.encode(media)
+        if victim.owns_hpa(hpa):
+            out.append(flip)
+    return out

@@ -1,0 +1,124 @@
+"""Boot-time remediation of isolation-violating rows (paper §6).
+
+Two DIMM-internal effects can silently move cells across subarray
+boundaries: vendor *row repairs* whose spare row lives in a different
+subarray, and vendor *row-address scrambling* when the subarray size is
+not a multiple of 8.  The paper's mitigation is the same one Linux uses
+for failing pages: identify the affected rows via the address-
+translation drivers and remove their pages from allocatable memory.
+
+Because pages interleave across every bank of a socket, "the pages
+mapping to a row" of any single bank are exactly the pages of that row's
+*row group* — so remediation offlines whole row groups.  The cost
+matches the paper's accounting: repairs affect ~0.15 % of rows; the
+scrambling workaround costs ``8 / rows_per_subarray`` of memory.
+
+``plan_remediation`` computes what to offline;
+``SilozHypervisor.boot(..., repairs=..., dimm_transforms=...)`` applies
+it during provisioning, before any allocations exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.mapping import AddressRange, SkylakeMapping
+from repro.dram.transforms import RepairMap, TransformConfig
+from repro.log import get_logger
+from repro.mm.offline import OfflineReason
+
+_log = get_logger("core.remediation")
+
+
+@dataclass(frozen=True)
+class RemediationItem:
+    """One row group to offline, with its cause."""
+
+    socket: int
+    row: int
+    reason: OfflineReason
+
+
+def scrambling_boundary_rows(geom: DRAMGeometry) -> list[int]:
+    """Bank-local rows inside the aligned 8-row block straddling each
+    subarray boundary — the §6 scrambling hazard.  Empty when the
+    subarray size is a multiple of 8 (scrambling is then harmless)."""
+    size = geom.rows_per_subarray
+    if size % 8 == 0:
+        return []
+    rows: set[int] = set()
+    for boundary in range(size, geom.rows_per_bank, size):
+        block_start = (boundary // 8) * 8
+        rows.update(
+            r for r in range(block_start, block_start + 8) if r < geom.rows_per_bank
+        )
+    return sorted(rows)
+
+
+def plan_remediation(
+    geom: DRAMGeometry,
+    *,
+    repairs: dict[tuple[int, int], RepairMap] | None = None,
+    transforms: TransformConfig | None = None,
+) -> list[RemediationItem]:
+    """Everything §6 says to offline for this DIMM population.
+
+    ``repairs`` maps (socket, socket-flat bank) to that bank's repair
+    map; only *inter-subarray* repairs matter.  ``transforms`` triggers
+    the scrambling analysis when it scrambles and the subarray size is
+    not a multiple of 8."""
+    items: list[RemediationItem] = []
+    seen: set[tuple[int, int]] = set()
+    for (socket, _bank), repair_map in sorted((repairs or {}).items()):
+        for row in repair_map.rows_to_offline():
+            if (socket, row) in seen:
+                continue
+            seen.add((socket, row))
+            items.append(
+                RemediationItem(socket, row, OfflineReason.INTER_SUBARRAY_REPAIR)
+            )
+    if transforms is not None and transforms.scrambling:
+        for socket in range(geom.sockets):
+            for row in scrambling_boundary_rows(geom):
+                if (socket, row) in seen:
+                    continue
+                seen.add((socket, row))
+                items.append(
+                    RemediationItem(socket, row, OfflineReason.SCRAMBLING_BOUNDARY)
+                )
+    return items
+
+
+def remediation_ranges(
+    mapping: SkylakeMapping, items: list[RemediationItem]
+) -> list[tuple[AddressRange, OfflineReason, int]]:
+    """(HPA range, reason, socket) per offlined row group.
+
+    Ranges are kept one-per-row-group (not merged): scrambling-boundary
+    blocks straddle subarray-group boundaries, and each side belongs to
+    a different logical node, which offlines its part separately."""
+    out: list[tuple[AddressRange, OfflineReason, int]] = []
+    for item in items:
+        for r in mapping.row_group_ranges(item.socket, item.row):
+            out.append((r, item.reason, item.socket))
+    return out
+
+
+def apply_remediation(hv, items: list[RemediationItem]) -> int:
+    """Offline every planned row group from its owning node; returns the
+    number of bytes removed.  Must run before allocations (boot)."""
+    total = 0
+    for merged, reason, _socket in remediation_ranges(hv.machine.mapping, items):
+        if hv.offline.is_offline(merged.start) and hv.offline.is_offline(
+            merged.end - 1
+        ):
+            continue  # already unallocatable (e.g. inside the guard block)
+        node = hv.topology.node_of_addr(merged.start)
+        hv.offline.offline(node, merged, reason)
+        total += merged.size
+    if total:
+        _log.info(
+            "remediated %d row group(s): %d bytes offlined", len(items), total
+        )
+    return total

@@ -1,0 +1,32 @@
+"""Simulated server DDR4 DRAM substrate.
+
+This package models everything below the memory controller that Siloz
+(SOSP 2023) depends on:
+
+- :mod:`repro.dram.geometry` — module/rank/bank/subarray geometry,
+- :mod:`repro.dram.media` — media-address codec,
+- :mod:`repro.dram.mapping` — Skylake-like physical-to-media decode,
+- :mod:`repro.dram.transforms` — DDR4 mirroring/inversion, vendor
+  scrambling, row repairs (paper §6, Table 1),
+- :mod:`repro.dram.module` — sparse bit-cell storage with activation
+  accounting,
+- :mod:`repro.dram.disturbance` — Rowhammer/RowPress victim physics,
+- :mod:`repro.dram.trr` / :mod:`repro.dram.ecc` — deployed-but-bypassable
+  hardware mitigations.
+"""
+
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.media import MediaAddress
+from repro.dram.mapping import SkylakeMapping
+from repro.dram.module import SimulatedDram
+from repro.dram.disturbance import DisturbanceModel, DisturbanceProfile, BitFlip
+
+__all__ = [
+    "DRAMGeometry",
+    "MediaAddress",
+    "SkylakeMapping",
+    "SimulatedDram",
+    "DisturbanceModel",
+    "DisturbanceProfile",
+    "BitFlip",
+]

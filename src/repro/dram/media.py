@@ -1,0 +1,136 @@
+"""Media addresses: the coordinates memory controllers use to reach DRAM
+cells (paper §2.4).
+
+A :class:`MediaAddress` names one byte inside the module hierarchy:
+``(socket, channel, dimm, rank, bank, row, col)`` where *bank* is the
+rank-local bank index, *row* is the bank-local row and *col* is the byte
+offset inside the row.  Because much of the stack only cares about "which
+of the socket's N banks", the codec between the tuple form and a flat
+socket-local bank index lives here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import DRAMGeometry
+from repro.errors import AddressError
+
+
+@dataclass(frozen=True, order=True)
+class MediaAddress:
+    """One byte of DRAM, named by its position in the module hierarchy."""
+
+    socket: int
+    channel: int
+    dimm: int
+    rank: int
+    bank: int
+    row: int
+    col: int
+
+    def validate(self, geom: DRAMGeometry) -> "MediaAddress":
+        """Raise :class:`AddressError` unless every field is in range for
+        *geom*; returns self for chaining."""
+        checks = (
+            ("socket", self.socket, geom.sockets),
+            ("channel", self.channel, geom.channels_per_socket),
+            ("dimm", self.dimm, geom.dimms_per_channel),
+            ("rank", self.rank, geom.ranks_per_dimm),
+            ("bank", self.bank, geom.banks_per_rank),
+            ("row", self.row, geom.rows_per_bank),
+            ("col", self.col, geom.row_bytes),
+        )
+        for name, value, bound in checks:
+            if not 0 <= value < bound:
+                raise AddressError(
+                    f"media address {self}: {name}={value} out of range [0, {bound})"
+                )
+        return self
+
+    # ------------------------------------------------------------------
+    # Flat bank indices
+    # ------------------------------------------------------------------
+
+    def socket_bank_index(self, geom: DRAMGeometry) -> int:
+        """Flat index of this bank among the socket's banks, ordering
+        channels outermost, then DIMMs, ranks, and rank-local banks."""
+        idx = self.channel
+        idx = idx * geom.dimms_per_channel + self.dimm
+        idx = idx * geom.ranks_per_dimm + self.rank
+        idx = idx * geom.banks_per_rank + self.bank
+        return idx
+
+    def global_bank_index(self, geom: DRAMGeometry) -> int:
+        """Flat index among all banks in the machine."""
+        return self.socket * geom.banks_per_socket + self.socket_bank_index(geom)
+
+    @classmethod
+    def from_socket_bank(
+        cls,
+        geom: DRAMGeometry,
+        socket: int,
+        socket_bank: int,
+        row: int,
+        col: int = 0,
+    ) -> "MediaAddress":
+        """Inverse of :meth:`socket_bank_index` (plus row/col)."""
+        if not 0 <= socket_bank < geom.banks_per_socket:
+            raise AddressError(
+                f"socket bank {socket_bank} out of range [0, {geom.banks_per_socket})"
+            )
+        bank = socket_bank % geom.banks_per_rank
+        rest = socket_bank // geom.banks_per_rank
+        rank = rest % geom.ranks_per_dimm
+        rest //= geom.ranks_per_dimm
+        dimm = rest % geom.dimms_per_channel
+        channel = rest // geom.dimms_per_channel
+        return cls(
+            socket=socket,
+            channel=channel,
+            dimm=dimm,
+            rank=rank,
+            bank=bank,
+            row=row,
+            col=col,
+        ).validate(geom)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def bank_key(self, geom: DRAMGeometry) -> tuple[int, int]:
+        """Hashable identity of the containing bank: (socket, flat bank)."""
+        return (self.socket, self.socket_bank_index(geom))
+
+    def subarray(self, geom: DRAMGeometry) -> int:
+        """Bank-local subarray index of this address's row."""
+        return geom.subarray_of_row(self.row)
+
+    def same_bank(self, other: "MediaAddress") -> bool:
+        """True when both addresses resolve to the same physical bank."""
+        return (
+            self.socket == other.socket
+            and self.channel == other.channel
+            and self.dimm == other.dimm
+            and self.rank == other.rank
+            and self.bank == other.bank
+        )
+
+    def with_row(self, row: int, col: int | None = None) -> "MediaAddress":
+        """Same bank, different row (and optionally column)."""
+        return MediaAddress(
+            socket=self.socket,
+            channel=self.channel,
+            dimm=self.dimm,
+            rank=self.rank,
+            bank=self.bank,
+            row=row,
+            col=self.col if col is None else col,
+        )
+
+    def __str__(self) -> str:  # compact, log-friendly
+        return (
+            f"s{self.socket}.c{self.channel}.d{self.dimm}.r{self.rank}"
+            f".b{self.bank}.row{self.row}+{self.col:#x}"
+        )

@@ -1,0 +1,386 @@
+"""Bit-level simulated server DRAM (paper §2.3-§2.5).
+
+:class:`SimulatedDram` is the device under test for all of the security
+experiments: it stores data, counts activations, runs the TRR sampler,
+applies the Rowhammer/RowPress disturbance model, and exposes ECC/patrol
+scrub.  Storage is sparse — only rows ever written or flipped take
+memory — so the paper-scale geometry (384 GiB) is as cheap to model as
+the test geometry when the working set is small.
+
+Two coordinate systems appear here:
+
+- *media* rows: what the memory controller (and thus all HPAs) address;
+- *internal* rows: where the cells physically sit after vendor row
+  repairs (§6).  Disturbance pressure lives in internal space, because
+  that is where electrical adjacency is real; flips are mapped back to
+  the media row whose data they corrupt.  An inter-subarray repair
+  therefore *dynamically* breaks containment in this model, exactly the
+  failure mode Siloz offlines pages to avoid.
+
+Mirroring/inversion/scrambling are subarray-preserving bijections for
+power-of-2 subarray sizes (proved by
+:func:`repro.dram.transforms.subarray_isolation_preserved` and its
+tests), so the dynamic simulation runs them as identity; the analysis
+path in :mod:`repro.dram.transforms` covers the non-power-of-2 cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.disturbance import BitFlip, DisturbanceModel, DisturbanceProfile
+from repro.dram.ecc import EccEngine, EccEvent, EccOutcome
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.mapping import SkylakeMapping
+from repro.dram.media import MediaAddress
+from repro.dram.trr import Trr, TrrConfig
+from repro.errors import DramError, UncorrectableError
+from repro.units import CACHE_LINE, MS
+
+
+@dataclass
+class DramCounters:
+    """Aggregate activity counters for one module."""
+
+    activations: int = 0
+    reads: int = 0
+    writes: int = 0
+    refresh_windows: int = 0
+    trr_refs: int = 0
+
+
+class SimulatedDram:
+    """A full server DRAM complement behind one mapping.
+
+    Parameters
+    ----------
+    geom, mapping:
+        Hardware shape; *mapping* defaults to the proportional test
+        mapping for small geometries and the Skylake shape otherwise.
+    profile:
+        Disturbance susceptibility (per-DIMM in the fleet benches).
+    trr_config:
+        TRR sampler parameters; pass ``None`` to disable TRR entirely
+        (useful to isolate the disturbance model in tests).
+    act_seconds:
+        Simulated wall-clock cost per activation; drives the 64 ms
+        refresh-window bookkeeping.
+    trr_ref_every:
+        A bank receives a TRR refresh opportunity every N of its ACTs
+        (the per-bank share of tREFI ticks).
+    """
+
+    def __init__(
+        self,
+        geom: DRAMGeometry,
+        mapping: SkylakeMapping | None = None,
+        *,
+        profile: DisturbanceProfile | None = None,
+        trr_config: TrrConfig | None = TrrConfig(),
+        seed: int = 0,
+        act_seconds: float = 60e-9,
+        trr_ref_every: int = 64,
+        refresh_window: float = 64 * MS,
+        data_dependent_flips: bool = False,
+    ):
+        self.geom = geom
+        if mapping is None:
+            if geom.rows_per_bank < 16 * 2 * 16 * 2:
+                mapping = SkylakeMapping.for_small_geometry(geom)
+            else:
+                mapping = SkylakeMapping(geom)
+        if mapping.geom is not geom:
+            raise DramError("mapping and module must share a geometry")
+        self.mapping = mapping
+        self.disturbance = DisturbanceModel(geom, profile, seed=seed)
+        self.trr = Trr(geom, trr_config, seed=seed + 1) if trr_config else None
+        self.ecc = EccEngine()
+        self.counters = DramCounters()
+        self.clock = 0.0
+        self.act_seconds = act_seconds
+        self.trr_ref_every = trr_ref_every
+        self.refresh_window = refresh_window
+        self._last_full_refresh = 0.0
+        self._data: dict[tuple[int, int, int], bytearray] = {}
+        self._flips: dict[tuple[int, int, int], set[int]] = {}
+        self._acts_by_bank: dict[tuple[int, int], int] = {}
+        # True-/anti-cell modelling: a disturbance can only *discharge*
+        # a cell, so a bit flips only when its stored value differs from
+        # the cell's resting value.  Off by default (the containment
+        # results are polarity-agnostic); see flips_suppressed.
+        self.data_dependent_flips = data_dependent_flips
+        self.flips_suppressed = 0
+        # Row repairs: (socket, bank) -> {defective media row: spare row},
+        # plus the reverse index for mapping victims back to media rows.
+        self._repairs: dict[tuple[int, int], dict[int, int]] = {}
+        self._spare_owner: dict[tuple[int, int], dict[int, int]] = {}
+        self.flips_log: list[BitFlip] = []
+
+    # ------------------------------------------------------------------
+    # Row repairs
+    # ------------------------------------------------------------------
+
+    def add_repair(self, socket: int, bank: int, defective_row: int, spare_row: int) -> None:
+        """Vendor-style repair: media *defective_row* now lives in the
+        cells of internal *spare_row* (§6)."""
+        self.geom.check_row(defective_row)
+        self.geom.check_row(spare_row)
+        key = (socket, bank)
+        bank_repairs = self._repairs.setdefault(key, {})
+        if defective_row in bank_repairs:
+            raise DramError(f"row {defective_row} already repaired in bank {key}")
+        bank_repairs[defective_row] = spare_row
+        self._spare_owner.setdefault(key, {})[spare_row] = defective_row
+
+    def _to_internal(self, socket: int, bank: int, row: int) -> int:
+        return self._repairs.get((socket, bank), {}).get(row, row)
+
+    def _to_media_victim(self, socket: int, bank: int, internal_row: int) -> int | None:
+        """Media row whose data lives in *internal_row*, or None when the
+        internal row's cells are disconnected (a repaired-away row)."""
+        key = (socket, bank)
+        owner = self._spare_owner.get(key, {}).get(internal_row)
+        if owner is not None:
+            return owner
+        if internal_row in self._repairs.get(key, {}):
+            return None  # cells abandoned by the repair
+        return internal_row
+
+    # ------------------------------------------------------------------
+    # Activation path
+    # ------------------------------------------------------------------
+
+    def activate(
+        self, socket: int, bank: int, row: int, *, open_seconds: float = 0.0
+    ) -> list[BitFlip]:
+        """Issue one ACT to (socket, socket-flat bank, media row).
+
+        Returns any disturbance flips caused (already applied to the
+        stored data and appended to :attr:`flips_log`)."""
+        self.geom.check_row(row)
+        self.counters.activations += 1
+        self.clock += self.act_seconds
+        self._maybe_full_refresh()
+        internal = self._to_internal(socket, bank, row)
+
+        if self.trr is not None:
+            self.trr.on_activate(socket, bank, internal)
+        raw = self.disturbance.on_activate(socket, bank, internal, self.clock)
+        if open_seconds:
+            self.clock += open_seconds
+            raw += self.disturbance.on_row_open_time(
+                socket, bank, internal, open_seconds, self.clock
+            )
+        flips = self._apply_internal_flips(socket, bank, raw)
+
+        if self.trr is not None:
+            acts = self._acts_by_bank.get((socket, bank), 0) + 1
+            self._acts_by_bank[(socket, bank)] = acts
+            if acts % self.trr_ref_every == 0:
+                self.counters.trr_refs += 1
+                for victim in self.trr.on_ref(socket, bank):
+                    self.disturbance.on_refresh_row(socket, bank, victim)
+        return flips
+
+    @staticmethod
+    def _resting_value(socket: int, bank: int, row: int, bit: int) -> int:
+        """Deterministic true-/anti-cell polarity: the value a cell
+        decays toward (true cells rest at 0, anti cells at 1)."""
+        h = (socket * 1009 + bank * 9176 + row * 31 + bit) * 2654435761
+        return (h >> 13) & 1
+
+    def _effective_bit(self, socket: int, bank: int, row: int, bit: int) -> int:
+        stored = self._data.get((socket, bank, row))
+        value = (stored[bit // 8] >> (bit % 8)) & 1 if stored else 0
+        if bit in self._flips.get((socket, bank, row), ()):
+            value ^= 1
+        return value
+
+    def _apply_internal_flips(
+        self, socket: int, bank: int, raw: list[BitFlip]
+    ) -> list[BitFlip]:
+        out: list[BitFlip] = []
+        for flip in raw:
+            media_row = self._to_media_victim(socket, bank, flip.row)
+            if media_row is None:
+                continue
+            if self.data_dependent_flips:
+                resting = self._resting_value(socket, bank, media_row, flip.bit)
+                if self._effective_bit(socket, bank, media_row, flip.bit) == resting:
+                    self.flips_suppressed += 1
+                    continue  # cell already at rest: nothing to lose
+            media_flip = BitFlip(
+                socket=socket,
+                bank=bank,
+                row=media_row,
+                bit=flip.bit,
+                aggressor_row=flip.aggressor_row,
+                when=flip.when,
+            )
+            self._toggle_bit(socket, bank, media_row, flip.bit)
+            self.flips_log.append(media_flip)
+            out.append(media_flip)
+        return out
+
+    def _toggle_bit(self, socket: int, bank: int, row: int, bit: int) -> None:
+        key = (socket, bank, row)
+        flips = self._flips.setdefault(key, set())
+        if bit in flips:
+            flips.remove(bit)
+        else:
+            flips.add(bit)
+        if not flips:
+            del self._flips[key]
+
+    def _maybe_full_refresh(self) -> None:
+        if self.clock - self._last_full_refresh >= self.refresh_window:
+            self.disturbance.on_refresh_all()
+            self._last_full_refresh = self.clock
+            self.counters.refresh_windows += 1
+
+    def acts_until_trr_ref(self, socket: int, bank: int) -> int | None:
+        """ACTs remaining until this bank's next TRR REF opportunity, or
+        None when TRR is disabled.  Attackers can estimate this on real
+        hardware by timing REF-induced stalls — the synchronization step
+        of Blacksmith-class attacks."""
+        if self.trr is None:
+            return None
+        acts = self._acts_by_bank.get((socket, bank), 0)
+        return self.trr_ref_every - (acts % self.trr_ref_every)
+
+    def advance_time(self, seconds: float) -> None:
+        """Let simulated wall-clock pass (idle time, other work)."""
+        if seconds < 0:
+            raise DramError("cannot advance time backwards")
+        self.clock += seconds
+        self._maybe_full_refresh()
+
+    # ------------------------------------------------------------------
+    # Data path (by host physical address, through the mapping)
+    # ------------------------------------------------------------------
+
+    def _row_store(self, socket: int, bank: int, row: int) -> bytearray:
+        key = (socket, bank, row)
+        got = self._data.get(key)
+        if got is None:
+            got = bytearray(self.geom.row_bytes)
+            self._data[key] = got
+        return got
+
+    def _effective_row(self, socket: int, bank: int, row: int) -> bytearray:
+        """Stored bytes with current flips applied (what a read senses)."""
+        data = bytearray(self._data.get((socket, bank, row), bytes(self.geom.row_bytes)))
+        for bit in self._flips.get((socket, bank, row), ()):
+            data[bit // 8] ^= 1 << (bit % 8)
+        return data
+
+    def _lines(self, hpa: int, length: int):
+        """Split [hpa, hpa+length) into per-cache-line pieces, decoded."""
+        if length <= 0:
+            raise DramError(f"length must be positive, got {length}")
+        offset = 0
+        while offset < length:
+            addr = hpa + offset
+            line_off = addr % CACHE_LINE
+            take = min(CACHE_LINE - line_off, length - offset)
+            media = self.mapping.decode(addr)
+            yield media, offset, take
+            offset += take
+
+    def write(self, hpa: int, data: bytes) -> None:
+        """Write bytes at *hpa*; clears any flips in the written bits."""
+        self.counters.writes += 1
+        for media, offset, take in self._lines(hpa, len(data)):
+            socket, bank = media.socket, media.socket_bank_index(self.geom)
+            self.activate(socket, bank, media.row)
+            store = self._row_store(socket, bank, media.row)
+            store[media.col : media.col + take] = data[offset : offset + take]
+            flips = self._flips.get((socket, bank, media.row))
+            if flips:
+                low, high = media.col * 8, (media.col + take) * 8
+                for bit in [b for b in flips if low <= b < high]:
+                    flips.remove(bit)
+                if not flips:
+                    del self._flips[(socket, bank, media.row)]
+
+    def read(self, hpa: int, length: int, *, ecc: bool = True) -> bytes:
+        """Read bytes at *hpa*.
+
+        With ECC on, single-bit-per-word errors in the touched words are
+        corrected in the returned data (and logged); a double-bit word
+        raises :class:`UncorrectableError` (machine check, §2.5)."""
+        self.counters.reads += 1
+        out = bytearray(length)
+        for media, offset, take in self._lines(hpa, length):
+            socket, bank = media.socket, media.socket_bank_index(self.geom)
+            self.activate(socket, bank, media.row)
+            chunk = self._effective_row(socket, bank, media.row)[
+                media.col : media.col + take
+            ]
+            if ecc:
+                chunk = self._ecc_correct_chunk(socket, bank, media, take, chunk)
+            out[offset : offset + take] = chunk
+        return bytes(out)
+
+    def _ecc_correct_chunk(
+        self, socket: int, bank: int, media: MediaAddress, take: int, chunk: bytearray
+    ) -> bytearray:
+        flips = self._flips.get((socket, bank, media.row))
+        if not flips:
+            return chunk
+        low, high = media.col * 8, (media.col + take) * 8
+        touched = {b for b in flips if low <= b < high}
+        if not touched:
+            return chunk
+        events = self.ecc.check_row_bits(socket, bank, media.row, touched, self.clock)
+        for event in events:
+            if event.outcome is EccOutcome.UNCORRECTABLE:
+                raise UncorrectableError(
+                    f"double-bit error in row {media.row} word {event.word}",
+                    address=self.mapping.encode(media),
+                )
+        chunk = bytearray(chunk)
+        for bit in self.ecc.correctable_bits(touched):
+            chunk[bit // 8 - media.col] ^= 1 << (bit % 8)
+        return chunk
+
+    # ------------------------------------------------------------------
+    # Patrol scrub and flip accounting (§7.1's 24 h scrub pass)
+    # ------------------------------------------------------------------
+
+    def patrol_scrub(self) -> list[EccEvent]:
+        """Scan every row carrying flips: heal correctable bits in place,
+        log uncorrectable words.  Returns all events from the pass."""
+        events: list[EccEvent] = []
+        for (socket, bank, row), flips in sorted(self._flips.items()):
+            events.extend(
+                self.ecc.check_row_bits(socket, bank, row, set(flips), self.clock)
+            )
+            # Healing = rewriting the corrected value; the sparse store
+            # already holds the written data, so dropping the flip is the
+            # whole repair.
+            for bit in self.ecc.correctable_bits(set(flips)):
+                flips.discard(bit)
+        self._flips = {k: v for k, v in self._flips.items() if v}
+        return events
+
+    def flip_bits_at(self, socket: int, bank: int, row: int) -> set[int]:
+        return set(self._flips.get((socket, bank, row), ()))
+
+    def flips_by_group(self) -> dict[tuple[int, int], int]:
+        """Flip counts per (socket, subarray group) — Table 3's unit of
+        accounting."""
+        out: dict[tuple[int, int], int] = {}
+        for flip in self.flips_log:
+            key = (flip.socket, flip.row // self.geom.rows_per_subarray)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def flips_outside_groups(self, groups: set[tuple[int, int]]) -> list[BitFlip]:
+        """Flips that landed outside the given (socket, group) set — the
+        quantity Table 3 shows is zero under Siloz."""
+        return [
+            f
+            for f in self.flips_log
+            if (f.socket, f.row // self.geom.rows_per_subarray) not in groups
+        ]

@@ -1,0 +1,145 @@
+"""Refresh scheduling and data retention (paper §2.3).
+
+DDR4 guarantees every cell is refreshed within 64 ms: the controller
+issues a REF command per rank every tREFI (7.8 us), each covering a
+slice of rows.  Two consequences matter for Siloz's world:
+
+- the 64 ms window bounds how long disturbance pressure can accumulate
+  (Rowhammer thresholds are per-window quantities), and
+- *postponing* refreshes (a real controller optimisation, allowed up to
+  8 tREFI by the standard) stretches the window, lowering the effective
+  threshold and risking retention failures in weak cells.
+
+:class:`RefreshScheduler` models the per-rank REF stream with optional
+postponement; :class:`RetentionModel` tracks weak cells whose data
+decays if their refresh is late.  Together they let tests quantify the
+window-stretch interaction that motivates conservative thresholds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dram.geometry import DRAMGeometry
+from repro.errors import DramError
+from repro.units import MS, US
+
+#: DDR4 average refresh interval per rank.
+TREFI_S: float = 7.8 * US
+#: Maximum REFs the standard allows a controller to postpone.
+MAX_POSTPONED: int = 8
+#: REF commands needed to cover a full device (8192 per 64 ms window).
+REFS_PER_WINDOW: int = 8192
+
+
+@dataclass
+class RefreshScheduler:
+    """Per-rank REF stream: which row slice is refreshed when.
+
+    Rows are covered round-robin in ``REFS_PER_WINDOW`` slices, so the
+    gap between consecutive refreshes of one row is
+    ``REFS_PER_WINDOW * TREFI_S`` = 64 ms, plus any postponement debt.
+    """
+
+    geom: DRAMGeometry
+    postpone_budget: int = 0  # REFs the controller may delay
+    clock: float = 0.0
+    next_ref_due: float = field(default=TREFI_S)
+    ref_index: int = 0
+    postponed: int = 0
+    refs_issued: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.postpone_budget <= MAX_POSTPONED:
+            raise DramError(
+                f"postpone budget must be within [0, {MAX_POSTPONED}]"
+            )
+
+    def rows_in_slice(self, ref_index: int) -> range:
+        """Bank-local rows covered by the ref_index-th REF of a window."""
+        slice_rows = max(1, self.geom.rows_per_bank // REFS_PER_WINDOW)
+        start = (ref_index % REFS_PER_WINDOW) * slice_rows % self.geom.rows_per_bank
+        return range(start, min(start + slice_rows, self.geom.rows_per_bank))
+
+    def advance(self, seconds: float) -> list[range]:
+        """Let time pass; returns the row slices refreshed in order.
+
+        A busy controller postpones up to its budget, then must catch up
+        (the standard's debt rule)."""
+        if seconds < 0:
+            raise DramError("cannot advance backwards")
+        self.clock += seconds
+        refreshed: list[range] = []
+        while self.next_ref_due <= self.clock:
+            if self.postponed < self.postpone_budget:
+                # Model a controller that defers while it can.
+                self.postponed += 1
+                self.next_ref_due += TREFI_S
+                continue
+            # Issue this REF and repay one unit of debt per issue.
+            refreshed.append(self.rows_in_slice(self.ref_index))
+            self.ref_index += 1
+            self.refs_issued += 1
+            if self.postponed > 0:
+                self.postponed -= 1
+            else:
+                self.next_ref_due += TREFI_S
+        return refreshed
+
+    def window_seconds(self) -> float:
+        """Effective worst-case refresh window for one row, including
+        postponement stretch."""
+        return REFS_PER_WINDOW * TREFI_S + self.postpone_budget * TREFI_S
+
+
+@dataclass(frozen=True)
+class WeakCell:
+    """A cell whose retention time is below the nominal window."""
+
+    socket: int
+    bank: int
+    row: int
+    bit: int
+    retention_s: float
+
+
+class RetentionModel:
+    """Tracks weak cells and reports retention failures.
+
+    ``check(row_gap_s)`` answers: given the worst-case gap between two
+    refreshes of a row, which weak cells lose their data?  Real fleets
+    profile these cells and either scrub or offline them — the same
+    remediation path Siloz reuses for isolation-violating rows (§6).
+    """
+
+    def __init__(self, geom: DRAMGeometry, *, seed: int = 0, weak_ppm: float = 1.0):
+        if weak_ppm < 0:
+            raise DramError("weak_ppm must be non-negative")
+        self.geom = geom
+        self._rng = random.Random(seed)
+        self.cells: list[WeakCell] = []
+        total_bits = geom.rows_per_bank * geom.row_bytes * 8
+        count = max(1, int(total_bits * weak_ppm / 1e6)) if weak_ppm else 0
+        for _ in range(count):
+            self.cells.append(
+                WeakCell(
+                    socket=0,
+                    bank=self._rng.randrange(geom.banks_per_socket),
+                    row=self._rng.randrange(geom.rows_per_bank),
+                    bit=self._rng.randrange(geom.row_bytes * 8),
+                    # Retention between 0.8x and 3x the nominal window.
+                    retention_s=64 * MS * self._rng.uniform(0.8, 3.0),
+                )
+            )
+
+    def failures(self, row_gap_s: float) -> list[WeakCell]:
+        """Weak cells that decay if rows go *row_gap_s* unrefreshed."""
+        if row_gap_s < 0:
+            raise DramError("gap must be non-negative")
+        return [c for c in self.cells if c.retention_s < row_gap_s]
+
+    def failure_rate(self, row_gap_s: float) -> float:
+        if not self.cells:
+            return 0.0
+        return len(self.failures(row_gap_s)) / len(self.cells)

@@ -1,0 +1,257 @@
+"""Media-to-internal row address transforms (paper §6, Table 1).
+
+A memory controller addresses DRAM by *media* address, but server DIMMs
+may transform the row bits internally.  Siloz must ensure its subarray
+groups survive these transforms.  Three sources are modelled:
+
+**DDR4 mirroring** (easier signal routing): on *odd ranks*, the bit pairs
+<b3,b4>, <b5,b6> and <b7,b8> are each swapped.
+
+**DDR4 inversion** (signal integrity): each 8 KiB row is split into an
+A-side and a B-side half-row (§2.3); on the *B side*, row-address bits
+b3..b10 are inverted.  (The registering clock driver inverts a wider bus
+range; only bits inside the paper's considered row-bit range [b0, b10]
+matter for subarray sizes up to 2048 rows.)
+
+**Vendor scrambling**: some vendors XOR b1 and b2 with b3, reordering
+rows inside each aligned 8-row block without affecting its contiguity.
+
+**Row repairs**: manufacturing defects remap individual rows to spare
+rows at vendor-chosen internal addresses; inter-subarray repairs would
+silently break isolation, so Siloz offlines the affected pages (§6).
+
+The analysis helpers at the bottom reproduce the paper's overhead
+arithmetic: power-of-2 subarray sizes are unaffected; other sizes cost
+~1.56 % (512 rows) down to ~0.39 % (2048 rows) of DRAM, whether handled
+by removing boundary rows or by guarded "artificial" subarray groups; and
+ZebRAM-style whole-memory guard rows cost 50-80 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.dram.geometry import DRAMGeometry
+from repro.errors import DramError
+from repro.units import is_power_of_two
+
+#: Bit pairs swapped by DDR4 address mirroring on odd ranks.
+MIRROR_PAIRS: tuple[tuple[int, int], ...] = ((3, 4), (5, 6), (7, 8))
+
+#: Row-address bits inverted on B-side half-rows (within [b0, b10]).
+INVERT_BITS: tuple[int, ...] = (3, 4, 5, 6, 7, 8, 9, 10)
+
+#: Vendor scrambling: these bits are XOR-ed with bit SCRAMBLE_SOURCE.
+SCRAMBLE_TARGETS: tuple[int, ...] = (1, 2)
+SCRAMBLE_SOURCE: int = 3
+
+
+class Side(Enum):
+    """The two half-rows of a DDR4 rank (paper §2.3)."""
+
+    A = "A"
+    B = "B"
+
+
+def _swap_bits(value: int, i: int, j: int) -> int:
+    bi = (value >> i) & 1
+    bj = (value >> j) & 1
+    if bi == bj:
+        return value
+    return value ^ ((1 << i) | (1 << j))
+
+
+def mirror_row(row: int, rank: int) -> int:
+    """Apply DDR4 address mirroring: odd ranks swap the MIRROR_PAIRS."""
+    if rank % 2 == 0:
+        return row
+    for i, j in MIRROR_PAIRS:
+        row = _swap_bits(row, i, j)
+    return row
+
+
+def invert_row(row: int, side: Side) -> int:
+    """Apply DDR4 address inversion: B-side half-rows invert INVERT_BITS."""
+    if side is Side.A:
+        return row
+    mask = 0
+    for bit in INVERT_BITS:
+        mask |= 1 << bit
+    return row ^ mask
+
+
+def scramble_row(row: int) -> int:
+    """Apply vendor row scrambling: b1 ^= b3, b2 ^= b3.
+
+    Self-inverse, and only permutes rows within aligned 8-row blocks.
+    """
+    src = (row >> SCRAMBLE_SOURCE) & 1
+    if not src:
+        return row
+    mask = 0
+    for bit in SCRAMBLE_TARGETS:
+        mask |= 1 << bit
+    return row ^ mask
+
+
+@dataclass(frozen=True)
+class TransformConfig:
+    """Which internal transforms a DIMM applies.
+
+    ``ddr5`` models DDR5's rule that mirroring/inversion must be undone
+    at each device (§8.2), i.e. they become no-ops.
+    """
+
+    mirroring: bool = True
+    inversion: bool = True
+    scrambling: bool = False
+    ddr5: bool = False
+
+    def internal_row(self, row: int, rank: int, side: Side) -> int:
+        """Media row -> DIMM-internal row for the given rank/side."""
+        if row < 0:
+            raise DramError(f"row must be non-negative, got {row}")
+        out = row
+        if not self.ddr5:
+            if self.mirroring:
+                out = mirror_row(out, rank)
+            if self.inversion:
+                out = invert_row(out, side)
+        if self.scrambling:
+            out = scramble_row(out)
+        return out
+
+
+def transform_table(max_bit: int = 10) -> list[dict[str, object]]:
+    """Reproduce Table 1: per (rank parity, side), what each row-address
+    bit b0..b_max_bit becomes.  Entries are strings like ``'b4'`` or
+    ``'!b7'`` (``!`` = boolean NOT, as in the paper's caption)."""
+    rows: list[dict[str, object]] = []
+    for rank, side in ((0, Side.A), (0, Side.B), (1, Side.A), (1, Side.B)):
+        entry: dict[str, object] = {
+            "rank": "even" if rank % 2 == 0 else "odd",
+            "side": side.value,
+        }
+        for bit in range(max_bit + 1):
+            source = bit
+            if rank % 2 == 1:
+                for i, j in MIRROR_PAIRS:
+                    if bit == i:
+                        source = j
+                    elif bit == j:
+                        source = i
+            inverted = side is Side.B and bit in INVERT_BITS
+            entry[f"b{bit}"] = f"{'!' if inverted else ''}b{source}"
+        rows.append(entry)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Row repairs (§6)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RepairMap:
+    """Vendor row repairs for one bank: media row -> internal spare row.
+
+    The memory controller keeps using the media address; only the DIMM
+    knows the remap, so Siloz treats inter-subarray repairs as holes to
+    offline rather than something it can re-route.
+    """
+
+    geom: DRAMGeometry
+    remaps: dict[int, int] = field(default_factory=dict)
+
+    def add(self, defective_row: int, spare_row: int) -> None:
+        self.geom.check_row(defective_row)
+        self.geom.check_row(spare_row)
+        if defective_row in self.remaps:
+            raise DramError(f"row {defective_row} already repaired")
+        self.remaps[defective_row] = spare_row
+
+    def resolve(self, row: int) -> int:
+        """Internal row actually holding data addressed at media *row*."""
+        return self.remaps.get(row, row)
+
+    def inter_subarray_repairs(self) -> list[tuple[int, int]]:
+        """(defective, spare) pairs whose spare lives in a different
+        subarray — the isolation-threatening subset."""
+        return [
+            (bad, spare)
+            for bad, spare in sorted(self.remaps.items())
+            if not self.geom.same_subarray(bad, spare)
+        ]
+
+    def rows_to_offline(self) -> list[int]:
+        """Media rows Siloz must remove from allocatable memory to keep
+        subarray-group isolation sound despite repairs."""
+        return [bad for bad, _ in self.inter_subarray_repairs()]
+
+
+# ----------------------------------------------------------------------
+# Isolation analysis (§6 "Key Takeaways" arithmetic)
+# ----------------------------------------------------------------------
+
+
+def subarray_isolation_preserved(
+    rows_per_subarray: int, config: TransformConfig
+) -> bool:
+    """Do the configured transforms keep every media subarray inside a
+    single internal subarray (for all rank/side combinations)?
+
+    Checked constructively over one subarray-size-aligned period; the
+    paper's claim is that power-of-2 sizes in [512, 2048] always pass.
+    """
+    period = rows_per_subarray * 2  # at least two subarrays to cross-check
+    sides = (Side.A, Side.B)
+    for rank in (0, 1):
+        for side in sides:
+            for subarray_start in range(0, period, rows_per_subarray):
+                internal_subarrays = {
+                    config.internal_row(r, rank, side) // rows_per_subarray
+                    for r in range(subarray_start, subarray_start + rows_per_subarray)
+                }
+                if len(internal_subarrays) != 1:
+                    return False
+    return True
+
+
+def scrambling_offline_fraction(rows_per_subarray: int) -> float:
+    """Fraction of DRAM removed to tolerate vendor scrambling when the
+    subarray size is not a multiple of 8: one 8-row block per boundary
+    (§6).  Zero for multiple-of-8 sizes."""
+    if rows_per_subarray % 8 == 0:
+        return 0.0
+    return 8 / rows_per_subarray
+
+
+#: Guard rows needed per artificial-subarray boundary on modern DIMMs.
+ARTIFICIAL_GUARD_ROWS: int = 4
+
+
+def artificial_group_reservation(rows_per_subarray: int) -> tuple[int, float]:
+    """(rows reserved per artificial subarray, fraction of DRAM) when a
+    non-power-of-2 subarray size forces artificial groups (§6).
+
+    Sizes are rounded up to the next power of two; n=4 guard rows protect
+    each artificial boundary, doubled to account for the mirrored/
+    inverted placements on other ranks and sides — 8 rows per artificial
+    subarray, i.e. ~1.56 % at 512 rows down to ~0.39 % at 2048.
+    """
+    size = rows_per_subarray
+    if not is_power_of_two(size):
+        size = 1 << (size - 1).bit_length()
+    reserved = 2 * ARTIFICIAL_GUARD_ROWS
+    return reserved, reserved / size
+
+
+def zebram_overhead(guard_rows_per_normal_row: int) -> float:
+    """DRAM overhead of ZebRAM-style whole-memory guard rows (§3):
+    g guards per normal row waste g/(g+1) of memory — 50 % at g=1,
+    80 % at g=4."""
+    g = guard_rows_per_normal_row
+    if g < 0:
+        raise DramError(f"guard rows must be non-negative, got {g}")
+    return g / (g + 1)

@@ -1,0 +1,124 @@
+"""Target Row Refresh (TRR) model (paper §2.5).
+
+Deployed in-DRAM TRR watches activations and refreshes the neighbours of
+suspected aggressors ahead of schedule.  Real implementations are
+sampler-based with a small number of tracking slots, which is exactly
+what Blacksmith exploits: patterns with more aggressors than slots and
+carefully-phased decoys evade the sampler.
+
+The model here reproduces those dynamics:
+
+- Per bank, the sampler has ``slots`` Misra-Gries-style counters.
+- Only a fraction of ACTs are *observed*: the sampler always observes
+  the first ``sampled_acts`` activations after each REF tick (real TRRs
+  concentrate sampling near refreshes — Blacksmith's insight), plus each
+  other ACT with probability ``sample_prob``.
+- On each REF tick the sampler refreshes the neighbours of its top
+  ``refreshes_per_ref`` candidates and clears them.
+
+A uniform double-sided hammer gets caught reliably; a many-sided pattern
+with decoy rows placed right after REF slips through — matching §7.1,
+where Blacksmith flips bits *despite* TRR on every DIMM.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dram.geometry import DRAMGeometry
+
+
+@dataclass(frozen=True)
+class TrrConfig:
+    slots: int = 4
+    sampled_acts_after_ref: int = 2
+    #: Probability of observing any other ACT.  Real samplers are sparse
+    #: — this sparseness is the blind spot Blacksmith-style REF-synced
+    #: patterns exploit.
+    sample_prob: float = 0.002
+    refreshes_per_ref: int = 2
+    neighbor_distance: int = 2
+
+
+class TrrSampler:
+    """Sampler state for a single bank."""
+
+    def __init__(self, config: TrrConfig, rng: random.Random):
+        self.config = config
+        self._rng = rng
+        self._counters: dict[int, int] = {}
+        self._acts_since_ref = 0
+
+    def observe_maybe(self, row: int) -> None:
+        """Feed one ACT to the sampler (observed per the config's rules)."""
+        cfg = self.config
+        self._acts_since_ref += 1
+        observed = (
+            self._acts_since_ref <= cfg.sampled_acts_after_ref
+            or self._rng.random() < cfg.sample_prob
+        )
+        if not observed:
+            return
+        if row in self._counters:
+            self._counters[row] += 1
+        elif len(self._counters) < cfg.slots:
+            self._counters[row] = 1
+        else:
+            # Misra-Gries decrement: heavy hitters survive, noise decays.
+            for tracked in list(self._counters):
+                self._counters[tracked] -= 1
+                if self._counters[tracked] <= 0:
+                    del self._counters[tracked]
+
+    def take_targets(self) -> list[int]:
+        """Rows whose neighbours get refreshed at this REF tick."""
+        self._acts_since_ref = 0
+        if not self._counters:
+            return []
+        top = sorted(self._counters, key=self._counters.get, reverse=True)
+        targets = top[: self.config.refreshes_per_ref]
+        for row in targets:
+            del self._counters[row]
+        return targets
+
+
+class Trr:
+    """Whole-module TRR: one sampler per (socket, flat bank)."""
+
+    def __init__(
+        self,
+        geom: DRAMGeometry,
+        config: TrrConfig | None = None,
+        *,
+        seed: int = 0,
+    ):
+        self.geom = geom
+        self.config = config or TrrConfig()
+        self._rng = random.Random(seed)
+        self._samplers: dict[tuple[int, int], TrrSampler] = {}
+        self.neighbor_refreshes = 0
+
+    def _sampler(self, socket: int, bank: int) -> TrrSampler:
+        key = (socket, bank)
+        got = self._samplers.get(key)
+        if got is None:
+            got = TrrSampler(self.config, self._rng)
+            self._samplers[key] = got
+        return got
+
+    def on_activate(self, socket: int, bank: int, row: int) -> None:
+        self._sampler(socket, bank).observe_maybe(row)
+
+    def on_ref(self, socket: int, bank: int) -> list[int]:
+        """REF tick for one bank; returns victim rows to refresh (the
+        neighbours of sampled aggressors), clipped to the bank."""
+        targets = self._sampler(socket, bank).take_targets()
+        victims: list[int] = []
+        d = self.config.neighbor_distance
+        for row in targets:
+            for victim in range(row - d, row + d + 1):
+                if victim != row and 0 <= victim < self.geom.rows_per_bank:
+                    victims.append(victim)
+        self.neighbor_refreshes += len(victims)
+        return victims

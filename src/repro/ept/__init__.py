@@ -1,0 +1,20 @@
+"""Extended page tables (paper §2.1, §5.4).
+
+EPTs map guest-physical to host-physical addresses and are the mechanism
+Siloz uses to *enforce* subarray-group isolation — which is why they need
+their own integrity protection.  The tables here are stored inside the
+simulated DRAM: the walker reads the actual (possibly flipped) bits, so a
+Rowhammer flip in a PTE genuinely widens the addresses a guest can reach,
+reproducing the §5.4 threat model end to end.
+"""
+
+from repro.ept.entry import EptEntry
+from repro.ept.table import ExtendedPageTable, ept_page_count
+from repro.ept.integrity import SecureEptChecker
+
+__all__ = [
+    "EptEntry",
+    "ExtendedPageTable",
+    "SecureEptChecker",
+    "ept_page_count",
+]

@@ -1,0 +1,56 @@
+"""Secure-EPT integrity checking (paper §5.4, "Hardware-Based
+Protection").
+
+Emerging Intel TDX / AMD SNP hardware integrity-checks EPT entries on
+use: a flipped entry is *detected*, not prevented, which removes the
+escape vector (software can't use a corrupted mapping) while leaving a
+possible denial of service (the failed check).  The checker is the TDX
+module's MAC store: a shadow of every secure entry's value, consulted by
+the walker on each step.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import EptIntegrityError
+
+
+def _mac(entry_addr: int, raw: bytes) -> bytes:
+    """Keyed-MAC stand-in: address-bound digest of the entry bytes."""
+    return hashlib.sha256(entry_addr.to_bytes(8, "little") + raw).digest()[:16]
+
+
+class SecureEptChecker:
+    """Shadow MAC store for EPT entries marked secure."""
+
+    def __init__(self) -> None:
+        self._macs: dict[int, bytes] = {}
+        self.checks = 0
+        self.failures = 0
+
+    def record(self, entry_addr: int, raw: bytes) -> None:
+        """Called by legitimate EPT updates (the trusted module path)."""
+        self._macs[entry_addr] = _mac(entry_addr, raw)
+
+    def forget(self, entry_addr: int) -> None:
+        self._macs.pop(entry_addr, None)
+
+    def covers(self, entry_addr: int) -> bool:
+        return entry_addr in self._macs
+
+    def verify(self, entry_addr: int, raw: bytes) -> None:
+        """Detect-on-use check (§5.4): raises
+        :class:`EptIntegrityError` if the in-DRAM bytes no longer match
+        the recorded MAC.  Entries never recorded are not secure and pass
+        unchecked."""
+        expected = self._macs.get(entry_addr)
+        if expected is None:
+            return
+        self.checks += 1
+        if _mac(entry_addr, raw) != expected:
+            self.failures += 1
+            raise EptIntegrityError(
+                f"EPT entry at HPA {entry_addr:#x} failed its integrity "
+                f"check: in-DRAM value was corrupted (Rowhammer bit flip?)"
+            )

@@ -1,0 +1,206 @@
+"""Four-level extended page tables stored in simulated DRAM (§2.1, §5.4).
+
+The table's nodes are real 4 KiB pages inside a :class:`SimulatedDram`;
+``translate`` performs an honest walk, reading each entry's 8 bytes from
+DRAM.  Consequences, exactly as on hardware:
+
+- ECC corrects single-bit flips in entries transparently;
+- a double-bit flip raises a machine check
+  (:class:`~repro.errors.UncorrectableError`);
+- a >= 3-bit flip silently yields a *different mapping* — the guest can
+  now reach a frame outside its subarray groups.  This is the escape
+  Siloz closes with guard rows or secure EPT.
+
+Pass a :class:`~repro.ept.integrity.SecureEptChecker` to get TDX/SNP
+detect-on-use behaviour instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dram.module import SimulatedDram
+from repro.ept.entry import ENTRIES_PER_PAGE, ENTRY_BYTES, EptEntry
+from repro.ept.integrity import SecureEptChecker
+from repro.errors import EptError, EptViolation
+from repro.units import PAGE_2M, PAGE_4K
+
+_LEVELS = 4
+_GPA_BITS = 48
+
+
+def _index(gpa: int, level: int) -> int:
+    """Entry index at *level* (0 = root PML4, 3 = leaf PT)."""
+    shift = 12 + 9 * (_LEVELS - 1 - level)
+    return (gpa >> shift) & (ENTRIES_PER_PAGE - 1)
+
+
+def ept_page_count(vm_bytes: int, page_size: int = PAGE_2M, *, contiguous: bool = True) -> int:
+    """EPT table pages needed to map a VM (paper §5.4 accounting).
+
+    With 2 MiB guest pages, each last-level (PD) page maps 512 * 2 MiB
+    = 1 GiB; higher levels add ~1/512 more.  ``contiguous`` backing is
+    what makes the count this tight — scattered backing would spread
+    entries across many more table pages.
+    """
+    if vm_bytes <= 0:
+        raise EptError("vm_bytes must be positive")
+    if page_size == PAGE_2M:
+        leaves = -(-vm_bytes // (ENTRIES_PER_PAGE * PAGE_2M))  # PD pages
+    elif page_size == PAGE_4K:
+        pts = -(-vm_bytes // (ENTRIES_PER_PAGE * PAGE_4K))
+        leaves = pts + -(-pts // ENTRIES_PER_PAGE)  # PTs + PDs
+    else:
+        raise EptError(f"unsupported guest page size {page_size}")
+    if not contiguous:
+        leaves *= 2  # pessimism for scattered backing
+    pdpts = -(-vm_bytes // (512 * 2**30)) if vm_bytes else 1
+    return leaves + max(1, pdpts) + 1  # + PDPT(s) + PML4
+
+
+class ExtendedPageTable:
+    """One VM's GPA -> HPA mapping, with its nodes living in DRAM."""
+
+    def __init__(
+        self,
+        dram: SimulatedDram,
+        alloc_table_page: Callable[[], int],
+        *,
+        checker: SecureEptChecker | None = None,
+        ecc_reads: bool = True,
+    ):
+        self.dram = dram
+        self._alloc = alloc_table_page
+        self.checker = checker
+        self.ecc_reads = ecc_reads
+        self.table_pages: list[int] = []
+        self.root = self._new_table_page()
+        self.mapped_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def _new_table_page(self) -> int:
+        addr = self._alloc()
+        if addr % PAGE_4K != 0:
+            raise EptError(f"table page {addr:#x} not 4 KiB aligned")
+        self.dram.write(addr, bytes(PAGE_4K))
+        self.table_pages.append(addr)
+        return addr
+
+    def _read_entry(self, table: int, index: int) -> tuple[int, EptEntry]:
+        addr = table + index * ENTRY_BYTES
+        raw = self.dram.read(addr, ENTRY_BYTES, ecc=self.ecc_reads)
+        if self.checker is not None:
+            self.checker.verify(addr, raw)
+        return addr, EptEntry.unpack(raw)
+
+    def _write_entry(self, table: int, index: int, entry: EptEntry) -> None:
+        addr = table + index * ENTRY_BYTES
+        raw = entry.pack()
+        self.dram.write(addr, raw)
+        if self.checker is not None:
+            if entry.present:
+                self.checker.record(addr, raw)
+            else:
+                self.checker.forget(addr)
+
+    # ------------------------------------------------------------------
+
+    def map(self, gpa: int, hpa: int, size: int) -> None:
+        """Map [gpa, gpa+size) -> [hpa, hpa+size) using 2 MiB leaves
+        where alignment allows, 4 KiB otherwise."""
+        if size <= 0 or gpa % PAGE_4K or hpa % PAGE_4K or size % PAGE_4K:
+            raise EptError(
+                f"mapping must be page-aligned: gpa={gpa:#x} hpa={hpa:#x} size={size:#x}"
+            )
+        if gpa + size > 1 << _GPA_BITS:
+            raise EptError(f"GPA range end {gpa + size:#x} exceeds {_GPA_BITS}-bit space")
+        done = 0
+        while done < size:
+            g, h = gpa + done, hpa + done
+            if g % PAGE_2M == 0 and h % PAGE_2M == 0 and size - done >= PAGE_2M:
+                self._map_one(g, h, large=True)
+                done += PAGE_2M
+            else:
+                self._map_one(g, h, large=False)
+                done += PAGE_4K
+        self.mapped_bytes += size
+
+    def _map_one(self, gpa: int, hpa: int, *, large: bool) -> None:
+        table = self.root
+        leaf_level = 2 if large else 3
+        for level in range(leaf_level):
+            addr, entry = self._read_entry(table, _index(gpa, level))
+            if not entry.present:
+                child = self._new_table_page()
+                entry = EptEntry.make(child)
+                self._write_entry(table, _index(gpa, level), entry)
+            elif entry.large:
+                raise EptError(f"GPA {gpa:#x} already covered by a large mapping")
+            table = entry.target_hpa
+        _, leaf = self._read_entry(table, _index(gpa, leaf_level))
+        if leaf.present:
+            raise EptError(f"GPA {gpa:#x} already mapped")
+        self._write_entry(
+            table, _index(gpa, leaf_level), EptEntry.make(hpa, large=large)
+        )
+
+    def unmap(self, gpa: int, size: int) -> None:
+        """Clear leaf entries covering [gpa, gpa+size)."""
+        if size <= 0 or gpa % PAGE_4K or size % PAGE_4K:
+            raise EptError("unmap must be page-aligned")
+        done = 0
+        while done < size:
+            step = self._unmap_one(gpa + done)
+            done += step
+        self.mapped_bytes = max(0, self.mapped_bytes - size)
+
+    def _unmap_one(self, gpa: int) -> int:
+        table = self.root
+        for level in range(_LEVELS):
+            addr, entry = self._read_entry(table, _index(gpa, level))
+            if not entry.present:
+                raise EptViolation(f"GPA {gpa:#x} not mapped")
+            if entry.large or level == _LEVELS - 1:
+                self._write_entry(table, _index(gpa, level), EptEntry.empty())
+                return PAGE_2M if entry.large else PAGE_4K
+            table = entry.target_hpa
+        raise EptError("unreachable")
+
+    # ------------------------------------------------------------------
+
+    def translate(self, gpa: int) -> int:
+        """Walk the table in DRAM; returns the HPA for *gpa*.
+
+        Raises :class:`EptViolation` for unmapped GPAs (a VM exit),
+        :class:`~repro.errors.UncorrectableError` on a double-bit-flipped
+        entry (machine check), or
+        :class:`~repro.errors.EptIntegrityError` when a secure entry
+        fails its check.  A silently-corrupted entry returns a wrong —
+        but usable — HPA, which is the attack."""
+        if not 0 <= gpa < 1 << _GPA_BITS:
+            raise EptViolation(f"GPA {gpa:#x} outside guest address space")
+        table = self.root
+        for level in range(_LEVELS):
+            _, entry = self._read_entry(table, _index(gpa, level))
+            if not entry.present:
+                raise EptViolation(f"GPA {gpa:#x} not mapped (level {level})")
+            if entry.large and level == 2:
+                return entry.target_hpa + (gpa & (PAGE_2M - 1))
+            if level == _LEVELS - 1:
+                return entry.target_hpa + (gpa & (PAGE_4K - 1))
+            table = entry.target_hpa
+        raise EptError("unreachable")
+
+    def leaf_entry_addr(self, gpa: int) -> int:
+        """HPA of the leaf entry mapping *gpa* (where a targeted flip
+        would have to land) — used by the EPT-attack experiments."""
+        table = self.root
+        for level in range(_LEVELS):
+            addr, entry = self._read_entry(table, _index(gpa, level))
+            if not entry.present:
+                raise EptViolation(f"GPA {gpa:#x} not mapped")
+            if (entry.large and level == 2) or level == _LEVELS - 1:
+                return addr
+            table = entry.target_hpa
+        raise EptError("unreachable")

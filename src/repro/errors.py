@@ -1,0 +1,93 @@
+"""Exception hierarchy for the Siloz reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type.  Sub-hierarchies mirror the subsystem layering
+described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GeometryError(ReproError):
+    """Inconsistent or unsupported DRAM geometry parameters."""
+
+
+class AddressError(ReproError):
+    """A physical or media address is out of range or malformed."""
+
+
+class MappingError(AddressError):
+    """Physical-to-media translation failed or is not invertible here."""
+
+
+class DramError(ReproError):
+    """Errors from the simulated DRAM module (bad row, bad command)."""
+
+
+class UncorrectableError(DramError):
+    """ECC detected a multi-bit error it cannot correct (machine check)."""
+
+    def __init__(self, message: str, *, address: int | None = None):
+        super().__init__(message)
+        self.address = address
+
+
+class MemCtrlError(ReproError):
+    """Memory-controller scheduling or protocol violation."""
+
+
+class MmError(ReproError):
+    """Host memory-management errors (allocator, NUMA, cgroup)."""
+
+
+class OutOfMemoryError(MmError):
+    """An allocation could not be satisfied from the requested node(s)."""
+
+
+class CgroupError(MmError):
+    """Control-group constraint violation (e.g. mems not permitted)."""
+
+
+class OfflineError(MmError):
+    """A page could not be offlined (already allocated, out of range)."""
+
+
+class EptError(ReproError):
+    """Extended-page-table construction or walk failure."""
+
+
+class EptIntegrityError(EptError):
+    """Secure-EPT integrity check failed: a PTE was corrupted in DRAM.
+
+    Raised on use (§5.4: flips are detected-upon-use, not prevented)."""
+
+
+class EptViolation(EptError):
+    """A guest access hit a GPA with no valid EPT mapping (VM exit)."""
+
+
+class HvError(ReproError):
+    """Hypervisor-level errors (VM lifecycle, memory typing)."""
+
+
+class PlacementError(HvError):
+    """Siloz could not honour its subarray-group placement policy."""
+
+
+class IsolationViolation(ReproError):
+    """An invariant check found data outside its isolation domain.
+
+    This is never raised during correct operation; it exists so tests and
+    auditors can assert containment loudly instead of silently."""
+
+
+class AttackError(ReproError):
+    """Malformed hammering pattern or attack configuration."""
+
+
+class WorkloadError(ReproError):
+    """Unknown workload name or invalid trace parameters."""

@@ -1,0 +1,31 @@
+"""Evaluation harness: statistics, experiments, and rendering.
+
+Everything the benchmarks share: geometric means and confidence
+intervals (:mod:`repro.eval.stats`), the per-figure experiment drivers
+(:mod:`repro.eval.experiments`), and the plain-text table/figure
+renderers (:mod:`repro.eval.report`).
+"""
+
+from repro.eval.stats import confidence_interval_95, geometric_mean, mean, stdev
+from repro.eval.experiments import (
+    PerfComparison,
+    SystemUnderTest,
+    baseline_system,
+    perf_experiment,
+    siloz_system,
+)
+from repro.eval.report import render_figure, render_table
+
+__all__ = [
+    "PerfComparison",
+    "SystemUnderTest",
+    "baseline_system",
+    "confidence_interval_95",
+    "geometric_mean",
+    "mean",
+    "perf_experiment",
+    "render_figure",
+    "render_table",
+    "siloz_system",
+    "stdev",
+]

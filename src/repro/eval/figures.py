@@ -1,0 +1,105 @@
+"""ASCII bar charts and JSON export for figure data.
+
+The paper's Figures 4-7 are bar charts with 95 % CI whiskers around a
+zero line.  :func:`render_bars` draws the same thing in text — a signed
+horizontal bar per (workload, system) with the CI marked — so bench
+output visually mirrors the figures, not just their tables.
+:func:`comparison_to_json` serialises the raw measurements so results
+can be archived and diffed between runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ReproError
+from repro.eval.experiments import PerfComparison
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A signed bar around a centre line, e.g. ``    --|      `` for a
+    negative value."""
+    if scale <= 0:
+        raise ReproError("scale must be positive")
+    half = width // 2
+    cells = min(half, round(abs(value) / scale * half))
+    left = " " * half
+    right = " " * half
+    if value < 0:
+        left = " " * (half - cells) + "#" * cells
+    else:
+        right = "#" * cells + " " * (half - cells)
+    return f"{left}|{right}"
+
+
+def render_bars(
+    comparison: PerfComparison,
+    *,
+    baseline: str = "baseline",
+    full_scale_pct: float = 2.5,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Per-workload overhead bars with CI annotations.
+
+    ``full_scale_pct`` is the overhead magnitude that fills half the
+    width (the paper's figures span roughly ±2.5 %)."""
+    systems = [s for s in comparison.systems() if s != baseline]
+    if not systems:
+        raise ReproError("nothing to plot: only the baseline present")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"scale: full bar = {full_scale_pct:+.1f}% vs {baseline}; "
+        "'#' left = faster/higher, right = slower/lower"
+    )
+    label_width = max(
+        len(f"{w} [{s}]") for w in comparison.workloads() for s in systems
+    )
+    for workload in comparison.workloads():
+        for system in systems:
+            mean_pct, ci = comparison.overhead_percent(
+                workload, system, baseline=baseline
+            )
+            bar = _bar(mean_pct, full_scale_pct, width)
+            label = f"{workload} [{system}]"
+            lines.append(
+                f"{label.ljust(label_width)} {bar} {mean_pct:+.2f}% (±{ci:.2f})"
+            )
+    return "\n".join(lines)
+
+
+def comparison_to_json(comparison: PerfComparison, *, baseline: str = "baseline") -> str:
+    """Archive a comparison: raw trials plus derived overheads."""
+    payload: dict = {"metric": comparison.metric, "baseline": baseline, "workloads": {}}
+    for workload in comparison.workloads():
+        entry: dict = {"trials": {}}
+        for system in comparison.systems():
+            entry["trials"][system] = comparison.trials(workload, system)
+            if system != baseline:
+                mean_pct, ci = comparison.overhead_percent(
+                    workload, system, baseline=baseline
+                )
+                entry.setdefault("overhead_pct", {})[system] = {
+                    "mean": mean_pct,
+                    "ci95": ci,
+                }
+        payload["workloads"][workload] = entry
+    payload["geomean_ratio"] = {
+        system: comparison.geomean_ratio(system, baseline=baseline)
+        for system in comparison.systems()
+        if system != baseline
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def comparison_from_json(text: str) -> PerfComparison:
+    """Inverse of :func:`comparison_to_json` (raw trials only)."""
+    payload = json.loads(text)
+    comparison = PerfComparison(metric=payload["metric"])
+    for workload, entry in payload["workloads"].items():
+        for system, trials in entry["trials"].items():
+            for value in trials:
+                comparison.add(workload, system, value)
+    return comparison

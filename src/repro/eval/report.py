@@ -1,0 +1,62 @@
+"""Plain-text rendering of tables and figure data.
+
+The paper's figures are bar charts of baseline-normalised overhead with
+95 % CI error bars; ``render_figure`` prints the same series as an ASCII
+table (one row per workload, one column per system) so benches can
+regenerate every figure's content without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.eval.experiments import PerfComparison
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def fmt(row):
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_figure(
+    comparison: PerfComparison,
+    *,
+    baseline: str = "baseline",
+    title: str = "",
+) -> str:
+    """Per-workload overhead (%, with 95 % CI) for each non-baseline
+    system, plus the geometric-mean summary row — Figure 4/5/6/7 as
+    text."""
+    systems = [s for s in comparison.systems() if s != baseline]
+    headers = ["workload"] + [f"{s} overhead% (±CI)" for s in systems]
+    rows = []
+    for workload in comparison.workloads():
+        row: list[object] = [workload]
+        for system in systems:
+            mean_pct, ci = comparison.overhead_percent(
+                workload, system, baseline=baseline
+            )
+            row.append(f"{mean_pct:+.3f} (±{ci:.3f})")
+        rows.append(row)
+    summary: list[object] = ["geomean"]
+    for system in systems:
+        ratio = comparison.geomean_ratio(system, baseline=baseline)
+        summary.append(f"{(ratio - 1) * 100:+.3f}")
+    rows.append(summary)
+    return render_table(headers, rows, title=title)

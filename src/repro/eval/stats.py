@@ -1,0 +1,64 @@
+"""Statistics for the evaluation (means, geomeans, 95 % CIs).
+
+The paper reports geometric-mean overheads with 95 % confidence
+intervals over repeated trials; these helpers compute the same, using a
+Student-t interval (scipy) since trial counts are small.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from scipy import stats as _scipy_stats
+
+from repro.errors import ReproError
+
+
+def _check_nonempty(values: Sequence[float]) -> None:
+    if not values:
+        raise ReproError("statistic of an empty sequence")
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; rejects empty input."""
+    _check_nonempty(values)
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (n-1); zero for a single value."""
+    _check_nonempty(values)
+    if len(values) == 1:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (len(values) - 1))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the paper's summary stat)."""
+    _check_nonempty(values)
+    if any(v <= 0 for v in values):
+        raise ReproError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def confidence_interval_95(values: Sequence[float]) -> tuple[float, float]:
+    """(mean, half-width) of the 95 % Student-t interval."""
+    _check_nonempty(values)
+    m = mean(values)
+    if len(values) == 1:
+        return m, 0.0
+    sem = stdev(values) / math.sqrt(len(values))
+    t_crit = float(_scipy_stats.t.ppf(0.975, df=len(values) - 1))
+    return m, t_crit * sem
+
+
+def normalized_overhead_percent(system: float, baseline: float) -> float:
+    """Baseline-normalised overhead in percent (Figures 4-7's y-axis).
+
+    Positive = the system is slower / lower-throughput than baseline.
+    """
+    if baseline <= 0:
+        raise ReproError("baseline measurement must be positive")
+    return (system / baseline - 1.0) * 100.0

@@ -1,0 +1,111 @@
+"""A tiny guest OS: frame allocation and processes (paper §2.1, §9).
+
+Enough of an OS to host multiple isolated-from-each-other-in-theory
+processes inside one VM: a guest-physical frame allocator over the RAM
+region and per-process page tables.  Process reads/writes/hammers go
+GVA -> GPA -> HPA -> simulated DRAM, making the intra-VM co-location
+trade-off of §9 directly observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HvError, OutOfMemoryError
+from repro.guest.pagetable import GuestPageTable
+from repro.hv.vm import VirtualMachine
+from repro.units import PAGE_4K
+
+#: GPA range reserved for the guest kernel itself (frame allocator
+#: metadata, initial stacks, ...); user frames start above it.
+KERNEL_RESERVED = 64 * 1024
+
+
+@dataclass
+class GuestProcess:
+    """One process: a name, a page table, and its mapped extent."""
+
+    name: str
+    pagetable: GuestPageTable
+    heap_top: int = 0
+    frames: list[int] = field(default_factory=list)
+
+    def read(self, gva: int, length: int) -> bytes:
+        gpa = self.pagetable.translate(gva)
+        return self.pagetable.vm.read(gpa, length)
+
+    def write(self, gva: int, data: bytes) -> None:
+        gpa = self.pagetable.translate(gva)
+        self.pagetable.vm.write(gpa, data)
+
+    def hammer(self, gva: int, activations: int):
+        """Hammer through the process's own virtual mapping — what a
+        malicious userspace program inside the guest can do."""
+        gpa = self.pagetable.translate(gva)
+        return self.pagetable.vm.hammer(gpa, activations)
+
+    def hpa_of(self, gva: int) -> int:
+        return self.pagetable.translate_to_hpa(gva)
+
+
+class GuestOS:
+    """The in-VM kernel: owns guest-physical frames, spawns processes."""
+
+    def __init__(self, vm: VirtualMachine):
+        self.vm = vm
+        ram = next(r for r in vm.regions if r.name == "ram")
+        self._next_frame = KERNEL_RESERVED
+        self._ram_end = ram.size
+        self._free: list[int] = []
+        self.processes: dict[str, GuestProcess] = {}
+
+    # ------------------------------------------------------------------
+    # Frame allocator (guest-physical)
+    # ------------------------------------------------------------------
+
+    def alloc_frame(self) -> int:
+        """Hand out one free guest-physical 4 KiB frame."""
+        if self._free:
+            return self._free.pop()
+        if self._next_frame + PAGE_4K > self._ram_end:
+            raise OutOfMemoryError("guest RAM exhausted")
+        frame = self._next_frame
+        self._next_frame += PAGE_4K
+        return frame
+
+    def free_frame(self, gpa: int) -> None:
+        if gpa % PAGE_4K or not KERNEL_RESERVED <= gpa < self._ram_end:
+            raise HvError(f"bad guest frame {gpa:#x}")
+        self._free.append(gpa)
+
+    @property
+    def free_bytes(self) -> int:
+        return (self._ram_end - self._next_frame) + len(self._free) * PAGE_4K
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    def spawn(self, name: str, *, heap_pages: int = 8, base_gva: int = 0x400000) -> GuestProcess:
+        """Create a process with *heap_pages* of anonymous memory mapped
+        at *base_gva*."""
+        if name in self.processes:
+            raise HvError(f"process {name!r} already exists")
+        if heap_pages <= 0:
+            raise HvError("heap_pages must be positive")
+        pagetable = GuestPageTable(self.vm, self.alloc_frame)
+        process = GuestProcess(name=name, pagetable=pagetable, heap_top=base_gva)
+        for i in range(heap_pages):
+            frame = self.alloc_frame()
+            process.frames.append(frame)
+            pagetable.map(base_gva + i * PAGE_4K, frame, PAGE_4K)
+        process.heap_top = base_gva + heap_pages * PAGE_4K
+        self.processes[name] = process
+        return process
+
+    def kill(self, name: str) -> None:
+        process = self.processes.pop(name, None)
+        if process is None:
+            raise HvError(f"no such process {name!r}")
+        for frame in process.frames + process.pagetable.table_frames:
+            self.free_frame(frame)

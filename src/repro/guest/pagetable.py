@@ -1,0 +1,101 @@
+"""Guest page tables: GVA -> GPA, stored in guest RAM (paper §2.1).
+
+The table pages are ordinary guest-physical frames; every walk step is a
+guest memory *read* through the VM (and therefore through the EPT and
+the simulated DRAM), so guest page tables are hammerable state exactly
+like the paper's SoftTRR/CTA discussion assumes — they are within the
+VM's own groups under Siloz, making their corruption an intra-VM
+problem, not an escape.
+
+The entry format reuses the x86-64 layout from :mod:`repro.ept.entry`
+(present/RWX in the low bits, frame at [51:12], large-page bit 7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ept.entry import ENTRIES_PER_PAGE, ENTRY_BYTES, EptEntry as Pte
+from repro.errors import EptError, EptViolation
+from repro.hv.vm import VirtualMachine
+from repro.units import PAGE_2M, PAGE_4K
+
+_LEVELS = 4
+_VA_BITS = 48
+
+
+def _index(gva: int, level: int) -> int:
+    shift = 12 + 9 * (_LEVELS - 1 - level)
+    return (gva >> shift) & (ENTRIES_PER_PAGE - 1)
+
+
+class GuestPageTable:
+    """One process's address space inside a VM."""
+
+    def __init__(self, vm: VirtualMachine, alloc_frame: Callable[[], int]):
+        self.vm = vm
+        self._alloc = alloc_frame
+        self.table_frames: list[int] = []
+        self.root_gpa = self._new_table()
+        self.mapped_bytes = 0
+
+    def _new_table(self) -> int:
+        gpa = self._alloc()
+        if gpa % PAGE_4K:
+            raise EptError(f"guest table frame {gpa:#x} not page aligned")
+        self.vm.write(gpa, bytes(PAGE_4K))
+        self.table_frames.append(gpa)
+        return gpa
+
+    def _read_entry(self, table_gpa: int, index: int) -> Pte:
+        raw = self.vm.read(table_gpa + index * ENTRY_BYTES, ENTRY_BYTES)
+        return Pte.unpack(raw)
+
+    def _write_entry(self, table_gpa: int, index: int, entry: Pte) -> None:
+        self.vm.write(table_gpa + index * ENTRY_BYTES, entry.pack())
+
+    def map(self, gva: int, gpa: int, size: int) -> None:
+        """Map [gva, gva+size) -> [gpa, gpa+size) with 4 KiB pages
+        (guest OSes also use 2 MiB pages; 4 KiB keeps the guest layer
+        simple and is irrelevant to the host-side claims)."""
+        if size <= 0 or gva % PAGE_4K or gpa % PAGE_4K or size % PAGE_4K:
+            raise EptError("guest mapping must be page aligned")
+        if gva + size > 1 << _VA_BITS:
+            raise EptError("GVA beyond canonical space")
+        for off in range(0, size, PAGE_4K):
+            self._map_one(gva + off, gpa + off)
+        self.mapped_bytes += size
+
+    def _map_one(self, gva: int, gpa: int) -> None:
+        table = self.root_gpa
+        for level in range(_LEVELS - 1):
+            entry = self._read_entry(table, _index(gva, level))
+            if not entry.present:
+                child = self._new_table()
+                self._write_entry(table, _index(gva, level), Pte.make(child))
+                table = child
+            else:
+                table = entry.target_hpa
+        leaf = self._read_entry(table, _index(gva, _LEVELS - 1))
+        if leaf.present:
+            raise EptError(f"GVA {gva:#x} already mapped")
+        self._write_entry(table, _index(gva, _LEVELS - 1), Pte.make(gpa))
+
+    def translate(self, gva: int) -> int:
+        """GVA -> GPA by walking the in-RAM tables."""
+        if not 0 <= gva < 1 << _VA_BITS:
+            raise EptViolation(f"GVA {gva:#x} non-canonical")
+        table = self.root_gpa
+        for level in range(_LEVELS):
+            entry = self._read_entry(table, _index(gva, level))
+            if not entry.present:
+                raise EptViolation(f"GVA {gva:#x} not mapped (level {level})")
+            if level == _LEVELS - 1:
+                return entry.target_hpa + (gva & (PAGE_4K - 1))
+            if entry.large:
+                return entry.target_hpa + (gva & (PAGE_2M - 1))
+            table = entry.target_hpa
+
+    def translate_to_hpa(self, gva: int) -> int:
+        """The full §2.1 chain: GVA -> GPA (guest tables) -> HPA (EPT)."""
+        return self.vm.translate(self.translate(gva))

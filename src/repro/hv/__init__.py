@@ -1,0 +1,27 @@
+"""Hypervisor substrate (paper §2.1, §5).
+
+- :mod:`repro.hv.machine` — the simulated host (geometry + mapping +
+  DRAM + cores),
+- :mod:`repro.hv.memory_types` — QEMU-style memory regions and the
+  mediated/unmediated classification Siloz's placement policy keys off
+  (§5.1),
+- :mod:`repro.hv.vm` — virtual machines: EPT-backed guest address
+  spaces with read/write/hammer entry points,
+- :mod:`repro.hv.hypervisor` — the baseline Linux/KVM hypervisor that
+  Siloz (in :mod:`repro.core`) extends and is evaluated against.
+"""
+
+from repro.hv.machine import Machine
+from repro.hv.memory_types import MemoryRegion, MemoryRegionKind
+from repro.hv.vm import VirtualMachine
+from repro.hv.hypervisor import BaselineHypervisor, Hypervisor, VmSpec
+
+__all__ = [
+    "BaselineHypervisor",
+    "Hypervisor",
+    "Machine",
+    "MemoryRegion",
+    "MemoryRegionKind",
+    "VirtualMachine",
+    "VmSpec",
+]

@@ -1,0 +1,113 @@
+"""Machine-check handling for uncorrectable memory errors (paper §1,
+§2.5).
+
+Rowhammer's consequences include machine-check exceptions: a double-bit
+(ECC-uncorrectable) flip raises an MCE when consumed.  Linux's memory-
+failure handling kills the process/VM consuming the page (or panics for
+kernel memory).  Under the baseline, an attacker can therefore
+denial-of-service a *co-located victim* by flipping the victim's bits;
+under Siloz, uncorrectable flips can only land in the attacker's own
+subarray groups, so the blast radius of an MCE is the attacker itself —
+Rowhammer DoS degrades into self-DoS.
+
+:class:`MceHandler` implements the classification and kill policy and
+keeps the incident log the tests and benches assert over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import UncorrectableError
+from repro.log import get_logger
+from repro.hv.hypervisor import Hypervisor
+from repro.hv.vm import VmState
+from repro.mm.offline import OfflineReason
+from repro.units import PAGE_4K
+
+
+_log = get_logger("hv.mce")
+
+
+class MceOutcome(Enum):
+    """What the memory-failure policy did about an uncorrectable error."""
+    VM_KILLED = "vm-killed"
+    HOST_PANIC = "host-panic"
+    GUARD_ABSORBED = "guard-absorbed"  # error in an offlined guard row
+
+
+@dataclass(frozen=True)
+class MceIncident:
+    hpa: int
+    outcome: MceOutcome
+    victim_vm: str | None
+
+
+@dataclass
+class MceHandler:
+    """Memory-failure policy over one hypervisor."""
+
+    hv: Hypervisor
+    incidents: list[MceIncident] = field(default_factory=list)
+    offline_failed_pages: bool = True
+
+    def handle(self, error: UncorrectableError) -> MceIncident:
+        """Classify and act on an uncorrectable error.
+
+        - error in a VM's memory: kill that VM (memory-failure SIGBUS
+          semantics), optionally offline the page;
+        - error in an offlined guard row: absorbed, nothing to kill;
+        - anything else is host memory: panic.
+        """
+        hpa = error.address
+        if hpa is None:
+            raise ValueError("uncorrectable error carries no address")
+        if self.hv.offline.is_offline(hpa):
+            incident = MceIncident(hpa, MceOutcome.GUARD_ABSORBED, None)
+            self.incidents.append(incident)
+            return incident
+        owner = None
+        for name, vm in self.hv.vms.items():
+            if vm.state is VmState.RUNNING and vm.owns_hpa(hpa):
+                owner = name
+                break
+        if owner is not None:
+            self.hv.destroy_vm(owner)
+            self._maybe_offline(hpa)
+            incident = MceIncident(hpa, MceOutcome.VM_KILLED, owner)
+        else:
+            incident = MceIncident(hpa, MceOutcome.HOST_PANIC, None)
+        self.incidents.append(incident)
+        _log.warning(
+            "uncorrectable memory error at %#x: %s%s",
+            hpa,
+            incident.outcome.value,
+            f" (VM {owner})" if owner else "",
+        )
+        return incident
+
+    def _maybe_offline(self, hpa: int) -> None:
+        if not self.offline_failed_pages:
+            return
+        from repro.dram.mapping import AddressRange
+
+        page = hpa - hpa % PAGE_4K
+        try:
+            node = self.hv.topology.node_of_addr(page)
+            self.hv.offline.offline(
+                node, AddressRange(page, page + PAGE_4K), OfflineReason.FAULTY
+            )
+        except Exception:
+            # Freed-but-unreserved or already-busy pages: leave them; the
+            # incident log still records the failure.
+            pass
+
+    def guarded_read(self, vm_name: str, gpa: int, length: int) -> bytes | MceIncident:
+        """A guest load with memory-failure semantics: returns data, or
+        the incident if the load machine-checked."""
+        vm = self.hv.vm(vm_name)
+        try:
+            return vm.read(gpa, length)
+        except UncorrectableError as exc:
+            return self.handle(exc)

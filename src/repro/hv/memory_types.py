@@ -1,0 +1,86 @@
+"""QEMU-style memory region types and mediation classification (§5.1).
+
+Siloz decides placement per page by whether the VM has *unmediated*
+access: pages the guest can touch without a VM exit (RAM, ROM reads,
+direct-mapped MMIO) can be hammered at will and must live in the VM's
+private subarray groups; pages whose every access traps (emulated MMIO,
+virtio control state) are host-mediated, rate-limitable, and stay on
+host-reserved nodes.  The classification comes from the existing QEMU
+memory types, mirrored here as :class:`MemoryRegionKind`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import HvError
+
+
+class MemoryRegionKind(Enum):
+    """QEMU memory types, tagged with their mediation status."""
+
+    RAM = "ram"  # guest RAM: reads+writes unmediated
+    ROM = "rom"  # unmediated reads, writes trap
+    ROM_DEVICE = "romd"  # unmediated reads in ROMD mode
+    MMIO_DIRECT = "mmio-direct"  # device memory mapped straight through
+    MMIO_EMULATED = "mmio-emulated"  # every access exits to the hypervisor
+    VIRTIO = "virtio"  # paravirtual queues: host-mediated DMA (§5.1)
+
+    @property
+    def unmediated(self) -> bool:
+        """True when some access type reaches DRAM without a VM exit —
+        i.e. the guest can hammer it (§5.1's placement predicate)."""
+        return self in (
+            MemoryRegionKind.RAM,
+            MemoryRegionKind.ROM,
+            MemoryRegionKind.ROM_DEVICE,
+            MemoryRegionKind.MMIO_DIRECT,
+        )
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One contiguous guest-physical region with a memory type."""
+
+    name: str
+    gpa: int
+    size: int
+    kind: MemoryRegionKind
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise HvError(f"region {self.name!r} must have positive size")
+        if self.gpa < 0:
+            raise HvError(f"region {self.name!r} has negative GPA")
+
+    @property
+    def end(self) -> int:
+        return self.gpa + self.size
+
+    @property
+    def unmediated(self) -> bool:
+        return self.kind.unmediated
+
+    def __contains__(self, gpa: int) -> bool:
+        return self.gpa <= gpa < self.end
+
+
+def default_layout(ram_bytes: int, *, rom_bytes: int, mmio_bytes: int) -> list[MemoryRegion]:
+    """The guest-physical layout used by the simulated QEMU: RAM at 0,
+    then ROM (unmediated reads), then an emulated-MMIO window and a
+    virtio region (both mediated)."""
+    regions = [MemoryRegion("ram", 0, ram_bytes, MemoryRegionKind.RAM)]
+    cursor = ram_bytes
+    if rom_bytes:
+        regions.append(MemoryRegion("rom", cursor, rom_bytes, MemoryRegionKind.ROM))
+        cursor += rom_bytes
+    if mmio_bytes:
+        regions.append(
+            MemoryRegion("mmio", cursor, mmio_bytes, MemoryRegionKind.MMIO_EMULATED)
+        )
+        cursor += mmio_bytes
+        regions.append(
+            MemoryRegion("virtio", cursor, mmio_bytes, MemoryRegionKind.VIRTIO)
+        )
+    return regions

@@ -1,0 +1,150 @@
+"""Paravirtual IO: virtio-style mediated DMA (paper §5.1).
+
+The Siloz prototype does guest IO through virtio: the guest posts
+buffer descriptors in a virtqueue, and the *host* performs the DMA on
+its behalf.  Two properties matter for Rowhammer:
+
+1. The guest cannot issue unmediated DMAs — every transfer runs through
+   host code, so the guest cannot use a device to hammer arbitrary
+   rows at DRAM rates.
+2. Because the host is in the loop, it can rate-limit transfers (the
+   paper's answer to hypothetical "confused deputy" hammering via
+   exits): :class:`DmaRateLimiter` enforces a token-bucket budget on
+   host-performed accesses.
+
+The queue layout is a simplified split virtqueue: a descriptor ring in
+guest memory (so its bytes live in the guest's own subarray groups),
+with available/used indices.  The device backend here is a loopback
+that transforms buffers, enough to exercise the full data path.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import HvError
+from repro.hv.vm import VirtualMachine
+
+#: Descriptor: u64 gpa, u32 length, u16 flags, u16 next (unused) = 16 B.
+_DESC_FMT = "<QIHH"
+_DESC_BYTES = struct.calcsize(_DESC_FMT)
+
+DESC_F_WRITE = 1  # device writes (guest receives)
+
+
+class DmaBudgetExceeded(HvError):
+    """The host's rate limiter refused further DMA this window."""
+
+
+@dataclass
+class DmaRateLimiter:
+    """Token bucket over host-mediated DMA operations.
+
+    ``ops_per_window`` tokens are granted each time ``new_window`` is
+    called (the host would tie this to a timer); each mediated transfer
+    consumes one.  This is the §5.1 mitigation hook for exit-induced
+    hammering."""
+
+    ops_per_window: int = 1 << 30  # effectively unlimited by default
+    tokens: int = field(init=False)
+    refused: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ops_per_window <= 0:
+            raise HvError("ops_per_window must be positive")
+        self.tokens = self.ops_per_window
+
+    def new_window(self) -> None:
+        self.tokens = self.ops_per_window
+
+    def consume(self) -> None:
+        if self.tokens <= 0:
+            self.refused += 1
+            raise DmaBudgetExceeded("host DMA budget exhausted for this window")
+        self.tokens -= 1
+
+
+class Virtqueue:
+    """A split virtqueue living in one VM's guest memory."""
+
+    def __init__(self, vm: VirtualMachine, ring_gpa: int, size: int = 64):
+        if size <= 0:
+            raise HvError("queue size must be positive")
+        self.vm = vm
+        self.ring_gpa = ring_gpa
+        self.size = size
+        self._avail: list[int] = []  # descriptor indexes posted by guest
+        self.used: list[tuple[int, int]] = []  # (index, written bytes)
+
+    def _desc_gpa(self, index: int) -> int:
+        if not 0 <= index < self.size:
+            raise HvError(f"descriptor index {index} out of range")
+        return self.ring_gpa + index * _DESC_BYTES
+
+    # -- guest side ------------------------------------------------------
+
+    def guest_post(self, index: int, gpa: int, length: int, *, device_writes: bool) -> None:
+        """Guest writes a descriptor into the ring and makes it
+        available.  These are ordinary guest stores: unmediated, in the
+        guest's own groups."""
+        flags = DESC_F_WRITE if device_writes else 0
+        raw = struct.pack(_DESC_FMT, gpa, length, flags, 0)
+        self.vm.write(self._desc_gpa(index), raw)
+        self._avail.append(index)
+
+    @property
+    def pending(self) -> int:
+        return len(self._avail)
+
+    # -- host side -------------------------------------------------------
+
+    def host_read_desc(self, index: int) -> tuple[int, int, int]:
+        raw = self.vm.machine.dram.read(
+            self.vm.translate(self._desc_gpa(index)), _DESC_BYTES
+        )
+        gpa, length, flags, _ = struct.unpack(_DESC_FMT, raw)
+        return gpa, length, flags
+
+
+class VirtioDevice:
+    """Host-side virtio device model with a loopback backend."""
+
+    def __init__(self, vm: VirtualMachine, queue: Virtqueue, *, limiter: DmaRateLimiter | None = None):
+        self.vm = vm
+        self.queue = queue
+        self.limiter = limiter or DmaRateLimiter()
+        self.dma_ops = 0
+
+    def _host_dma(self, hpa: int, length: int, data: bytes | None) -> bytes:
+        """One host-performed transfer (counts against the budget)."""
+        self.limiter.consume()
+        self.dma_ops += 1
+        dram = self.vm.machine.dram
+        if data is None:
+            return dram.read(hpa, length)
+        dram.write(hpa, data[:length])
+        return b""
+
+    def process(self) -> int:
+        """Drain the available ring: read guest-out buffers, transform
+        (loopback: bytes reversed), write device-in buffers.  Returns
+        the number of descriptors completed."""
+        completed = 0
+        payload = b""
+        while self.queue._avail:
+            index = self.queue._avail.pop(0)
+            gpa, length, flags = self.queue.host_read_desc(index)
+            region = self.vm.region_at(gpa)
+            if not region.unmediated:
+                raise HvError("virtio buffers must live in guest RAM")
+            hpa = self.vm.translate(gpa)
+            if flags & DESC_F_WRITE:
+                data = payload[::-1][:length].ljust(length, b"\x00")
+                self._host_dma(hpa, length, data)
+                self.queue.used.append((index, length))
+            else:
+                payload = self._host_dma(hpa, length, None)
+                self.queue.used.append((index, 0))
+            completed += 1
+        return completed

@@ -1,0 +1,156 @@
+"""Virtual machines (paper §2.1, §5.1, §7.1).
+
+A :class:`VirtualMachine` owns an EPT, a set of memory regions, and the
+host pages backing them.  Guest accesses translate through the EPT and
+then hit the simulated DRAM — including the attack entry points
+(`hammer`, `hammer_pattern`) that the security experiments drive from
+*inside* the guest, exactly as Blacksmith runs inside a VM in §7.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.dram.mapping import AddressRange
+from repro.ept.table import ExtendedPageTable
+from repro.errors import HvError
+from repro.hv.machine import Machine
+from repro.hv.memory_types import MemoryRegion
+
+
+class VmState(Enum):
+    """VM lifecycle states (§5.3: shutdown keeps the reservation)."""
+    RUNNING = "running"
+    SHUTDOWN = "shutdown"
+
+
+@dataclass
+class VirtualMachine:
+    """One guest: regions, EPT, backing memory, and placement facts."""
+
+    name: str
+    machine: Machine
+    ept: ExtendedPageTable
+    regions: list[MemoryRegion]
+    vcpus: int
+    home_socket: int
+    #: Logical NUMA nodes provisioned to this VM (its cgroup's mems).
+    node_ids: tuple[int, ...] = ()
+    #: (socket, subarray group) pairs this VM may legitimately occupy.
+    reserved_groups: frozenset = frozenset()
+    #: Host ranges backing unmediated regions (guest RAM etc.).
+    backing: list[AddressRange] = field(default_factory=list)
+    #: Host ranges backing mediated regions (host-reserved nodes).
+    mediated_backing: list[AddressRange] = field(default_factory=list)
+    state: VmState = VmState.RUNNING
+    vm_exits: int = 0
+    #: Passthrough devices attached to this VM (see repro.hv.iommu).
+    devices: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    def region_at(self, gpa: int) -> MemoryRegion:
+        for region in self.regions:
+            if gpa in region:
+                return region
+        raise HvError(f"VM {self.name}: GPA {gpa:#x} not in any region")
+
+    def _check_running(self) -> None:
+        if self.state is not VmState.RUNNING:
+            raise HvError(f"VM {self.name} is not running")
+
+    def translate(self, gpa: int) -> int:
+        """GPA -> HPA through this VM's EPT (reads real DRAM bits)."""
+        return self.ept.translate(gpa)
+
+    # ------------------------------------------------------------------
+    # Guest data accesses
+    # ------------------------------------------------------------------
+
+    def read(self, gpa: int, length: int, *, ecc: bool = True) -> bytes:
+        """Guest load.  Mediated regions cost a VM exit.
+
+        ``ecc=False`` returns raw cell contents (what a non-ECC platform
+        would see) — handy for inspecting corruption in experiments."""
+        self._check_running()
+        region = self.region_at(gpa)
+        if not region.unmediated:
+            self.vm_exits += 1
+        hpa = self.translate(gpa)
+        return self.machine.dram.read(hpa, length, ecc=ecc)
+
+    def write(self, gpa: int, data: bytes) -> None:
+        """Guest store.  ROM writes and mediated regions exit."""
+        self._check_running()
+        region = self.region_at(gpa)
+        if not region.unmediated or region.kind.name.startswith("ROM"):
+            self.vm_exits += 1
+        hpa = self.translate(gpa)
+        self.machine.dram.write(hpa, data)
+
+    # ------------------------------------------------------------------
+    # Attack entry points (the guest's view of "hammering")
+    # ------------------------------------------------------------------
+
+    def hammer(self, gpa: int, activations: int, *, open_seconds: float = 0.0):
+        """Repeatedly activate the DRAM row behind *gpa*.
+
+        Only unmediated regions can be hammered: mediated accesses take a
+        VM exit each, so the host mediates (and could rate-limit) them —
+        the §5.1 argument for why mediated pages may stay host-side.
+        Returns the list of bit flips the hammering caused anywhere.
+        """
+        self._check_running()
+        region = self.region_at(gpa)
+        if not region.unmediated:
+            raise HvError(
+                f"VM {self.name}: {region.name} is host-mediated; every access "
+                "exits, so it cannot be hammered at DRAM rates"
+            )
+        dram = self.machine.dram
+        media = dram.mapping.decode(self.translate(gpa))
+        socket, bank = media.socket, media.socket_bank_index(self.machine.geom)
+        flips = []
+        for _ in range(activations):
+            flips.extend(
+                dram.activate(socket, bank, media.row, open_seconds=open_seconds)
+            )
+        return flips
+
+    def hammer_pattern(self, gpas: list[int], rounds: int):
+        """Interleave activations across several aggressor GPAs (the
+        many-sided shape TRR evasion needs); returns all flips."""
+        self._check_running()
+        dram = self.machine.dram
+        targets = []
+        for gpa in gpas:
+            if not self.region_at(gpa).unmediated:
+                raise HvError(f"VM {self.name}: GPA {gpa:#x} is mediated")
+            media = dram.mapping.decode(self.translate(gpa))
+            targets.append(
+                (media.socket, media.socket_bank_index(self.machine.geom), media.row)
+            )
+        flips = []
+        for _ in range(rounds):
+            for socket, bank, row in targets:
+                flips.extend(dram.activate(socket, bank, row))
+        return flips
+
+    # ------------------------------------------------------------------
+
+    @property
+    def unmediated_bytes(self) -> int:
+        return sum(r.size for r in self.backing)
+
+    def owns_hpa(self, hpa: int) -> bool:
+        return any(hpa in r for r in self.backing) or any(
+            hpa in r for r in self.mediated_backing
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualMachine({self.name!r}, {self.vcpus} vcpus, "
+            f"{self.unmediated_bytes:#x} bytes, nodes={self.node_ids}, "
+            f"{self.state.value})"
+        )

@@ -1,0 +1,37 @@
+"""Library logging.
+
+Standard-library logging with a per-subsystem namespace under
+``repro.*`` and a NullHandler on the root (library best practice: the
+application chooses handlers/levels).  ``enable_console_logging`` is a
+convenience for examples and the CLI's ``-v`` flag.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT = logging.getLogger("repro")
+_ROOT.addHandler(logging.NullHandler())
+
+
+def get_logger(subsystem: str) -> logging.Logger:
+    """Logger for one subsystem, e.g. ``get_logger("core.siloz")``."""
+    return logging.getLogger(f"repro.{subsystem}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple stderr handler to the library root (idempotent)."""
+    for handler in _ROOT.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            handler.setLevel(level)
+            _ROOT.setLevel(level)
+            return
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    handler.setLevel(level)
+    _ROOT.addHandler(handler)
+    _ROOT.setLevel(level)

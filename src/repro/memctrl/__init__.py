@@ -1,0 +1,22 @@
+"""DDR4 memory-controller timing model (paper §2.4).
+
+This package turns memory-access traces into time: per-bank row buffers,
+bank-level parallelism, channel bus occupancy, refresh overhead, and
+NUMA-distance penalties.  It is the measurement substrate behind the
+paper's performance results (Figures 4-7) and the bank-parallelism
+ablation that motivates subarray *groups* over single-subarray placement
+(§4.1).
+"""
+
+from repro.memctrl.timings import DDR4Timings
+from repro.memctrl.controller import AccessKind, MemoryAccess, MemoryController, TraceResult
+from repro.memctrl.interleave import RestrictedInterleaveMapping
+
+__all__ = [
+    "AccessKind",
+    "DDR4Timings",
+    "MemoryAccess",
+    "MemoryController",
+    "RestrictedInterleaveMapping",
+    "TraceResult",
+]

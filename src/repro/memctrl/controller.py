@@ -1,0 +1,211 @@
+"""The memory controller: traces in, time out (paper §2.4, §7.2-§7.3).
+
+:class:`MemoryController` replays a memory-access trace against per-bank
+row-buffer state and per-channel bus/refresh state, producing execution
+time, average latency, bandwidth, and hit-rate statistics.  The model
+captures exactly the effects the paper's performance arguments rest on:
+
+- **Bank-level parallelism**: independent banks overlap; a trace confined
+  to few banks serializes (the §4.1 ">= 18 %" motivation for subarray
+  groups spanning every bank).
+- **Row-buffer locality**: sequential traffic hits open rows; random
+  traffic pays conflict latency.
+- **NUMA distance**: accesses from a vCPU's socket to the other socket
+  pay ``t_remote`` (why Siloz maps logical nodes to physical nodes,
+  §5.2).
+- **Subarray-size independence**: nothing in the timing path depends on
+  the row or subarray index (§7.4's expectation of no trend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Protocol
+
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.media import MediaAddress
+from repro.errors import MemCtrlError
+from repro.memctrl.scheduler import BankState, ChannelState
+from repro.memctrl.timings import DDR4Timings
+
+
+class AccessKind(Enum):
+    """Read or write (writes matter for the MLC ratio workloads)."""
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One cache-line-sized memory request.
+
+    ``cpu_gap_ns`` is the CPU "think time" since the previous request —
+    the compute/memory balance knob the workload generators use.
+    ``home_socket`` is the socket of the issuing vCPU, for NUMA distance.
+    ``tag`` attributes the access to a requester (VM id) when several
+    streams share one controller run (interference studies).
+    """
+
+    hpa: int
+    kind: AccessKind = AccessKind.READ
+    cpu_gap_ns: float = 0.0
+    home_socket: int = 0
+    tag: int = 0
+
+
+class DecodesToMedia(Protocol):
+    """Anything that can translate an HPA to a media address."""
+
+    geom: DRAMGeometry
+
+    def decode(self, hpa: int) -> MediaAddress: ...
+
+
+@dataclass
+class TraceResult:
+    """Aggregates from replaying one trace."""
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    remote_accesses: int = 0
+    total_time_ns: float = 0.0
+    total_latency_ns: float = 0.0
+    bytes_transferred: int = 0
+    banks_touched: int = 0
+    refreshes: int = 0
+    #: tag -> (accesses, cumulative latency ns) for shared-run studies.
+    per_tag: dict = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.row_hits / self.accesses
+
+    @property
+    def avg_latency_ns(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.total_latency_ns / self.accesses
+
+    @property
+    def execution_seconds(self) -> float:
+        return self.total_time_ns * 1e-9
+
+    @property
+    def bandwidth_gib_s(self) -> float:
+        if self.total_time_ns == 0:
+            return 0.0
+        return (self.bytes_transferred / 2**30) / (self.total_time_ns * 1e-9)
+
+    def tag_latency_ns(self, tag: int) -> float:
+        """Average latency of the accesses carrying *tag*."""
+        count, total = self.per_tag.get(tag, (0, 0.0))
+        if count == 0:
+            return 0.0
+        return total / count
+
+
+class MemoryController:
+    """Replays traces through the bank/channel timing model."""
+
+    LINE_BYTES = 64
+
+    def __init__(
+        self,
+        mapping: DecodesToMedia,
+        timings: DDR4Timings | None = None,
+        *,
+        max_outstanding: int = 10,
+        page_policy: str = "open",
+    ):
+        if max_outstanding < 1:
+            raise MemCtrlError("max_outstanding must be >= 1")
+        if page_policy not in ("open", "closed"):
+            raise MemCtrlError(f"unknown page policy {page_policy!r}")
+        self.mapping = mapping
+        self.geom = mapping.geom
+        self.timings = timings or DDR4Timings.ddr4_2933()
+        self.max_outstanding = max_outstanding
+        #: "open" keeps rows in the buffer (hits possible, conflicts pay
+        #: tRP); "closed" auto-precharges after every access (no hits,
+        #: no conflicts — better for random traffic, worse for streams).
+        self.page_policy = page_policy
+
+    def run_trace(self, trace: Iterable[MemoryAccess]) -> TraceResult:
+        """Replay *trace* in order; returns aggregate statistics.
+
+        The issuer models a core with ``max_outstanding`` in-flight
+        requests (its MLP): issue stalls until the oldest outstanding
+        request completes, so memory backpressure reaches the CPU —
+        that is how bank serialization turns into execution time.
+        State (row buffers, bus occupancy) is fresh per call, so results
+        are deterministic functions of the trace.
+        """
+        from collections import deque
+
+        t = self.timings
+        geom = self.geom
+        banks: dict[tuple[int, int], BankState] = {}
+        channels: dict[tuple[int, int], ChannelState] = {}
+        in_flight: deque[float] = deque()
+        result = TraceResult()
+        now = 0.0  # ns; issue clock
+        for access in trace:
+            now += access.cpu_gap_ns
+            while in_flight and in_flight[0] <= now:
+                in_flight.popleft()
+            if len(in_flight) >= self.max_outstanding:
+                now = in_flight.popleft()
+            media = self.mapping.decode(access.hpa)
+            bank_key = (media.socket, media.socket_bank_index(geom))
+            chan_key = (media.socket, media.channel)
+            bank = banks.get(bank_key)
+            if bank is None:
+                bank = banks[bank_key] = BankState()
+            chan = channels.get(chan_key)
+            if chan is None:
+                chan = channels[chan_key] = ChannelState(t)
+
+            start = now + chan.refresh_delay(now)
+            remote = media.socket != access.home_socket
+            if remote:
+                start += t.t_remote
+                result.remote_accesses += 1
+            start = chan.claim_bus(start)
+            done, hit = bank.access(media.row, start, t)
+            if self.page_policy == "closed":
+                bank.open_row = None  # auto-precharge
+
+            result.accesses += 1
+            if access.kind is AccessKind.READ:
+                result.reads += 1
+            else:
+                result.writes += 1
+            if hit:
+                result.row_hits += 1
+            else:
+                result.row_misses += 1
+            result.total_latency_ns += done - now
+            count, total = result.per_tag.get(access.tag, (0, 0.0))
+            result.per_tag[access.tag] = (count + 1, total + (done - now))
+            result.bytes_transferred += self.LINE_BYTES
+            if done > result.total_time_ns:
+                result.total_time_ns = done
+            # Keep the completion queue ordered: insert preserving order.
+            if in_flight and done < in_flight[-1]:
+                items = sorted([*in_flight, done])
+                in_flight.clear()
+                in_flight.extend(items)
+            else:
+                in_flight.append(done)
+
+        if result.accesses == 0:
+            raise MemCtrlError("empty trace")
+        result.banks_touched = len(banks)
+        result.refreshes = sum(c.refreshes for c in channels.values())
+        return result

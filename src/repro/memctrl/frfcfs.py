@@ -1,0 +1,103 @@
+"""FR-FCFS scheduling (paper §2.4's scheduler family).
+
+Real memory controllers reorder requests: *first-ready* (row-buffer
+hits) before *first-come first-served* (oldest first).  The base
+:class:`~repro.memctrl.controller.MemoryController` issues strictly in
+order, which is sufficient for the paper's relative comparisons; this
+subclass adds a reorder window so studies of scheduler interaction
+(e.g. how much locality the scheduler recovers from interleaved
+streams) are possible.  The Siloz-relevant invariant is unchanged:
+nothing in scheduling depends on subarray indices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import MemCtrlError
+from repro.memctrl.controller import (
+    AccessKind,
+    MemoryController,
+    TraceResult,
+)
+from repro.memctrl.scheduler import BankState, ChannelState
+
+
+class FrFcfsController(MemoryController):
+    """MemoryController with a first-ready / first-come scheduler.
+
+    ``window`` bounds how far ahead of the oldest request the scheduler
+    may look (the read-queue depth).
+    """
+
+    def __init__(self, mapping, timings=None, *, window: int = 16, max_outstanding: int = 10):
+        super().__init__(mapping, timings, max_outstanding=max_outstanding)
+        if window < 1:
+            raise MemCtrlError("window must be >= 1")
+        self.window = window
+
+    def run_trace(self, trace) -> TraceResult:
+        """Replay *trace* with first-ready-first reordering in the window."""
+        t = self.timings
+        geom = self.geom
+        banks: dict[tuple[int, int], BankState] = {}
+        channels: dict[tuple[int, int], ChannelState] = {}
+        result = TraceResult()
+        now = 0.0
+
+        # Pre-decode into a pending queue of (arrival, media, access).
+        pending: deque = deque()
+        arrival = 0.0
+        for access in trace:
+            arrival += access.cpu_gap_ns
+            pending.append((arrival, self.mapping.decode(access.hpa), access))
+        if not pending:
+            raise MemCtrlError("empty trace")
+
+        def issue(entry) -> None:
+            nonlocal now
+            arrival_ns, media, access = entry
+            bank_key = (media.socket, media.socket_bank_index(geom))
+            chan_key = (media.socket, media.channel)
+            bank = banks.setdefault(bank_key, BankState())
+            chan = channels.setdefault(chan_key, ChannelState(t))
+            start = max(now, arrival_ns)
+            start += chan.refresh_delay(start)
+            if media.socket != access.home_socket:
+                start += t.t_remote
+                result.remote_accesses += 1
+            start = chan.claim_bus(start)
+            done, hit = bank.access(media.row, start, t)
+            now = max(now, start)
+            result.accesses += 1
+            if access.kind is AccessKind.READ:
+                result.reads += 1
+            else:
+                result.writes += 1
+            if hit:
+                result.row_hits += 1
+            else:
+                result.row_misses += 1
+            result.total_latency_ns += done - arrival_ns
+            result.bytes_transferred += self.LINE_BYTES
+            if done > result.total_time_ns:
+                result.total_time_ns = done
+
+        while pending:
+            # Look at the window; prefer the first request whose bank's
+            # open row matches (first-ready), else the oldest.
+            chosen = 0
+            for i in range(min(self.window, len(pending))):
+                _, media, _ = pending[i]
+                bank_key = (media.socket, media.socket_bank_index(geom))
+                bank = banks.get(bank_key)
+                if bank is not None and bank.open_row == media.row:
+                    chosen = i
+                    break
+            entry = pending[chosen]
+            del pending[chosen]
+            issue(entry)
+
+        result.banks_touched = len(banks)
+        result.refreshes = sum(c.refreshes for c in channels.values())
+        return result

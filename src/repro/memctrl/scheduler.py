@@ -1,0 +1,78 @@
+"""Per-bank and per-channel scheduling state (paper §2.4).
+
+The controller keeps one :class:`BankState` per bank (open row + busy
+horizon) and one :class:`ChannelState` per channel (data-bus occupancy +
+refresh bookkeeping).  Accesses are issued in trace order — an FR-FCFS
+scheduler would reorder within a window, but for the throughput/latency
+aggregates the paper reports, in-order issue against accurate bank/bus
+occupancy reproduces the relevant contrasts (row hits vs conflicts,
+parallel vs serialized banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memctrl.timings import DDR4Timings
+
+
+@dataclass
+class BankState:
+    """Row buffer and availability of a single bank."""
+
+    open_row: int | None = None
+    ready_at: float = 0.0  # ns; earliest next command issue
+    hits: int = 0
+    misses: int = 0
+
+    def access(self, row: int, start: float, timings: DDR4Timings) -> tuple[float, bool]:
+        """Issue an access to *row* no earlier than *start*.
+
+        Returns (data-ready time, row-buffer hit?).  The bank serializes:
+        the command cannot begin before ``ready_at``.
+        """
+        begin = max(start, self.ready_at)
+        hit = self.open_row == row
+        if hit:
+            self.hits += 1
+            done = begin + timings.hit_latency
+            self.ready_at = begin + timings.t_burst
+        else:
+            self.misses += 1
+            if self.open_row is None:
+                # Bank idle/precharged: activate without a precharge.
+                done = begin + timings.t_rcd + timings.t_cl + timings.t_burst
+            else:
+                done = begin + timings.miss_latency
+            self.open_row = row
+            # Respect tRAS before the row could be closed again.
+            self.ready_at = begin + max(
+                timings.t_rcd + timings.t_burst, timings.t_ras - timings.t_rp
+            )
+        return done, hit
+
+
+@dataclass
+class ChannelState:
+    """Data bus occupancy and refresh schedule for one channel."""
+
+    timings: DDR4Timings
+    bus_free_at: float = 0.0
+    next_refresh_at: float = field(default=0.0)
+    refreshes: int = 0
+
+    def claim_bus(self, start: float) -> float:
+        """Reserve the data bus for one burst beginning no earlier than
+        *start*; returns the actual burst start time."""
+        begin = max(start, self.bus_free_at)
+        self.bus_free_at = begin + self.timings.t_burst
+        return begin
+
+    def refresh_delay(self, now: float) -> float:
+        """If a refresh is due at *now*, charge tRFC and schedule the
+        next one; returns the stall added to the current access."""
+        if now < self.next_refresh_at:
+            return 0.0
+        self.refreshes += 1
+        self.next_refresh_at = max(self.next_refresh_at, now) + self.timings.t_refi
+        return self.timings.t_rfc

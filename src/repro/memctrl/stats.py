@@ -1,0 +1,75 @@
+"""Per-bank activity breakdowns for controller runs.
+
+The aggregate :class:`~repro.memctrl.controller.TraceResult` answers the
+paper's questions; this module answers the operator's: how evenly did a
+workload spread over banks (bank-level-parallelism health), and which
+banks behaved like row-buffer-friendly streams vs conflict storms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.dram.geometry import DRAMGeometry
+from repro.errors import MemCtrlError
+from repro.memctrl.controller import DecodesToMedia, MemoryAccess
+
+
+@dataclass
+class BankActivity:
+    accesses: int = 0
+    distinct_rows: set = field(default_factory=set)
+
+    @property
+    def row_reuse(self) -> float:
+        if not self.distinct_rows:
+            return 0.0
+        return self.accesses / len(self.distinct_rows)
+
+
+@dataclass
+class BankProfile:
+    """Static profile of a trace's bank behaviour (no timing)."""
+
+    per_bank: dict = field(default_factory=dict)
+    total: int = 0
+
+    @property
+    def banks_touched(self) -> int:
+        return len(self.per_bank)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean accesses per touched bank; 1.0 = perfectly even.
+
+        Subarray groups keep this identical to the baseline because a
+        group spans every bank (§4.1) — asserted in tests."""
+        if not self.per_bank:
+            return 0.0
+        counts = [b.accesses for b in self.per_bank.values()]
+        return max(counts) / (sum(counts) / len(counts))
+
+    def coverage(self, geom: DRAMGeometry) -> float:
+        """Fraction of the socket's banks the trace touched."""
+        return self.banks_touched / geom.banks_per_socket
+
+
+def profile_trace(
+    mapping: DecodesToMedia, trace: Iterable[MemoryAccess]
+) -> BankProfile:
+    """Decode a trace and summarise its per-bank footprint."""
+    profile = BankProfile()
+    geom = mapping.geom
+    for access in trace:
+        media = mapping.decode(access.hpa)
+        key = (media.socket, media.socket_bank_index(geom))
+        bank = profile.per_bank.get(key)
+        if bank is None:
+            bank = profile.per_bank[key] = BankActivity()
+        bank.accesses += 1
+        bank.distinct_rows.add(media.row)
+        profile.total += 1
+    if profile.total == 0:
+        raise MemCtrlError("empty trace")
+    return profile

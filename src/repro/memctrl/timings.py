@@ -1,0 +1,76 @@
+"""DDR4 timing parameters (JEDEC DDR4, paper Table 2's 2933 MHz parts).
+
+All values are in nanoseconds.  The defaults model DDR4-2933 with
+typical server CAS latencies; exact vendor values differ by fractions of
+a nanosecond, which is irrelevant for the paper's *relative* claims
+(Siloz-vs-baseline ratios).  Crucially, the DDR standard specifies that
+access timings do **not** vary across subarrays (§7.4), which this model
+honours by construction: timing depends only on bank/row-buffer state,
+never on row or subarray index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemCtrlError
+
+
+@dataclass(frozen=True)
+class DDR4Timings:
+    """Timing set for one DRAM generation/speed bin (nanoseconds)."""
+
+    #: Row activate to column command (RAS-to-CAS) delay.
+    t_rcd: float = 13.75
+    #: Row precharge time.
+    t_rp: float = 13.75
+    #: CAS latency (column command to first data).
+    t_cl: float = 13.75
+    #: Minimum row open time (activate to precharge).
+    t_ras: float = 32.0
+    #: Data burst occupancy of the channel for one 64 B line
+    #: (8 beats at 2933 MT/s).
+    t_burst: float = 2.73
+    #: Average refresh interval per rank.
+    t_refi: float = 7800.0
+    #: Refresh cycle time (rank blocked).
+    t_rfc: float = 350.0
+    #: Extra latency for an access to the remote socket (QPI/UPI hop).
+    t_remote: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd", "t_rp", "t_cl", "t_ras", "t_burst", "t_refi", "t_rfc"):
+            if getattr(self, name) <= 0:
+                raise MemCtrlError(f"{name} must be positive")
+        if self.t_remote < 0:
+            raise MemCtrlError("t_remote must be non-negative")
+
+    @property
+    def t_rc(self) -> float:
+        """Row cycle time: back-to-back ACTs to one bank."""
+        return self.t_ras + self.t_rp
+
+    @property
+    def hit_latency(self) -> float:
+        """Row-buffer hit: column access + burst."""
+        return self.t_cl + self.t_burst
+
+    @property
+    def miss_latency(self) -> float:
+        """Row-buffer miss (conflict): precharge + activate + column."""
+        return self.t_rp + self.t_rcd + self.t_cl + self.t_burst
+
+    @property
+    def refresh_utilization(self) -> float:
+        """Fraction of time a rank is unavailable due to refresh."""
+        return self.t_rfc / self.t_refi
+
+    @classmethod
+    def ddr4_2933(cls) -> "DDR4Timings":
+        """Table 2's speed bin (the default)."""
+        return cls()
+
+    @classmethod
+    def ddr4_2400(cls) -> "DDR4Timings":
+        """A slower common server bin, for sensitivity tests."""
+        return cls(t_rcd=14.16, t_rp=14.16, t_cl=14.16, t_burst=3.33)

@@ -1,0 +1,165 @@
+"""Binary-buddy page allocator, Linux-style.
+
+One allocator instance manages one or more host-physical address ranges
+(a logical NUMA node's subarray group ranges, §5.2).  The allocator
+hands out naturally-aligned power-of-two blocks from 4 KiB up to 1 GiB,
+splitting and (on free) re-coalescing buddies.  ``reserve_range`` pulls
+arbitrary sub-ranges out of the free pool — the primitive page offlining
+(guard rows, §5.4; repaired rows, §6) is built on.
+"""
+
+from __future__ import annotations
+
+from repro.dram.mapping import AddressRange
+from repro.errors import MmError, OutOfMemoryError
+from repro.units import GiB, PAGE_4K
+
+#: Smallest allocatable block.
+MIN_BLOCK: int = PAGE_4K
+#: Largest buddy order block (1 GiB = order 18 above 4 KiB).
+MAX_BLOCK: int = GiB
+MAX_ORDER: int = (MAX_BLOCK // MIN_BLOCK).bit_length() - 1  # 18
+
+
+def order_of(size: int) -> int:
+    """Smallest buddy order whose block covers *size* bytes."""
+    if size <= 0:
+        raise MmError(f"size must be positive, got {size}")
+    if size > MAX_BLOCK:
+        raise MmError(f"size {size} exceeds max buddy block {MAX_BLOCK}")
+    blocks = -(-size // MIN_BLOCK)
+    return (blocks - 1).bit_length()
+
+
+class BuddyAllocator:
+    """Buddy allocator over a set of address ranges.
+
+    Free blocks are tracked per order as sets of start addresses.  A
+    block of order k starting at addr has its buddy at ``addr ^ (size)``;
+    alignment is relative to address 0 (host physical), matching how
+    Linux's zone allocator aligns to PFN 0.
+    """
+
+    def __init__(self, ranges: list[AddressRange]):
+        if not ranges:
+            raise MmError("allocator needs at least one range")
+        self._free: list[set[int]] = [set() for _ in range(MAX_ORDER + 1)]
+        self._allocated: dict[int, int] = {}  # start -> order
+        self.ranges = list(ranges)
+        for r in ranges:
+            self._seed_range(r)
+        self.total_bytes = sum(r.size for r in ranges)
+
+    def _seed_range(self, r: AddressRange) -> None:
+        if r.start % MIN_BLOCK or r.size % MIN_BLOCK:
+            raise MmError(f"range {r} not page-aligned")
+        addr = r.start
+        while addr < r.end:
+            # Largest naturally-aligned block that fits.
+            order = MAX_ORDER
+            while order > 0 and (
+                addr % (MIN_BLOCK << order) != 0 or addr + (MIN_BLOCK << order) > r.end
+            ):
+                order -= 1
+            self._free[order].add(addr)
+            addr += MIN_BLOCK << order
+
+    # ------------------------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(len(s) * (MIN_BLOCK << o) for o, s in enumerate(self._free))
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(MIN_BLOCK << o for o in self._allocated.values())
+
+    def alloc(self, order: int) -> int:
+        """Allocate a block of the given order; returns its address."""
+        if not 0 <= order <= MAX_ORDER:
+            raise MmError(f"order {order} out of range [0, {MAX_ORDER}]")
+        current = order
+        while current <= MAX_ORDER and not self._free[current]:
+            current += 1
+        if current > MAX_ORDER:
+            raise OutOfMemoryError(
+                f"no free block of order >= {order} "
+                f"({self.free_bytes} bytes free but fragmented or exhausted)"
+            )
+        addr = min(self._free[current])  # deterministic: lowest address
+        self._free[current].remove(addr)
+        while current > order:  # split down
+            current -= 1
+            half = MIN_BLOCK << current
+            self._free[current].add(addr + half)
+        self._allocated[addr] = order
+        return addr
+
+    def alloc_bytes(self, size: int) -> int:
+        """Allocate the smallest block covering *size* bytes."""
+        return self.alloc(order_of(size))
+
+    def free(self, addr: int) -> None:
+        """Free a previously-allocated block, coalescing buddies."""
+        order = self._allocated.pop(addr, None)
+        if order is None:
+            raise MmError(f"free of unallocated address {addr:#x}")
+        while order < MAX_ORDER:
+            size = MIN_BLOCK << order
+            buddy = addr ^ size
+            if buddy not in self._free[order]:
+                break
+            # Buddies must also be in the same managed range to merge.
+            self._free[order].remove(buddy)
+            addr = min(addr, buddy)
+            order += 1
+        self._free[order].add(addr)
+
+    # ------------------------------------------------------------------
+
+    def reserve_range(self, target: AddressRange) -> None:
+        """Remove [target.start, target.end) from the free pool.
+
+        Every page of the target must currently be free; blocks that
+        partially overlap are split until the target is exactly covered.
+        Used to offline guard rows and repair holes before any
+        allocations happen (§5.4, §6).
+        """
+        if target.start % MIN_BLOCK or target.size % MIN_BLOCK:
+            raise MmError(f"reserve target {target} not page-aligned")
+        remaining = target.size
+        guard = 0
+        while remaining > 0:
+            guard += 1
+            if guard > target.size // MIN_BLOCK * (MAX_ORDER + 2):
+                raise MmError(f"range {target} not fully free; cannot reserve")
+            progressed = False
+            for order in range(MAX_ORDER + 1):
+                size = MIN_BLOCK << order
+                for addr in list(self._free[order]):
+                    block = AddressRange(addr, addr + size)
+                    if not block.overlaps(target):
+                        continue
+                    self._free[order].remove(addr)
+                    if order > 0 and (
+                        block.start < target.start or block.end > target.end
+                    ):
+                        half = size // 2
+                        self._free[order - 1].add(addr)
+                        self._free[order - 1].add(addr + half)
+                    elif block.start >= target.start and block.end <= target.end:
+                        remaining -= size
+                    else:  # order-0 page partially overlapping: impossible
+                        raise MmError("page-aligned target cannot split a page")
+                    progressed = True
+            if not progressed:
+                raise MmError(f"range {target} not fully free; cannot reserve")
+
+    def contains(self, addr: int) -> bool:
+        return any(addr in r for r in self.ranges)
+
+    def __repr__(self) -> str:
+        return (
+            f"BuddyAllocator({len(self.ranges)} ranges, "
+            f"{self.free_bytes:#x}/{self.total_bytes:#x} free)"
+        )

@@ -1,0 +1,108 @@
+"""Reserved huge-page pools (paper §5 "Deployment Environment").
+
+Cloud providers back guest RAM with reserved, unswappable huge pages for
+performance; Siloz's evaluation uses static 2 MiB host huge pages.  A
+:class:`HugePagePool` carves such pages out of a logical node at
+reservation time and hands them to VMs; because the node's ranges are
+subarray-group ranges, every page the pool ever returns is
+group-isolated by construction.
+"""
+
+from __future__ import annotations
+
+from repro.dram.mapping import AddressRange
+from repro.errors import MmError, OutOfMemoryError
+from repro.mm.numa import NumaNode
+from repro.units import PAGE_2M, is_power_of_two
+
+
+class HugePagePool:
+    """A fixed reservation of huge pages on one logical node."""
+
+    def __init__(self, node: NumaNode, pages: int, page_size: int = PAGE_2M):
+        if pages <= 0:
+            raise MmError(f"pool needs at least one page, got {pages}")
+        if not is_power_of_two(page_size):
+            raise MmError(f"page size must be a power of two, got {page_size}")
+        self.node = node
+        self.page_size = page_size
+        self._free: list[int] = []
+        self._taken: set[int] = set()
+        for _ in range(pages):
+            try:
+                self._free.append(node.alloc_bytes(page_size))
+            except OutOfMemoryError:
+                # Roll back the partial reservation.
+                for addr in self._free:
+                    node.free_addr(addr)
+                raise
+        self._free.sort(reverse=True)  # pop() returns lowest address
+
+    @property
+    def free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def taken_pages(self) -> int:
+        return len(self._taken)
+
+    @property
+    def capacity_bytes(self) -> int:
+        return (len(self._free) + len(self._taken)) * self.page_size
+
+    def take(self) -> int:
+        """Hand one huge page to a VM; returns its base HPA."""
+        if not self._free:
+            raise OutOfMemoryError(
+                f"huge-page pool on node {self.node.node_id} exhausted"
+            )
+        addr = self._free.pop()
+        self._taken.add(addr)
+        return addr
+
+    def take_contiguous(self, pages: int) -> AddressRange:
+        """Take *pages* physically-contiguous huge pages.
+
+        Contiguous guest backing is what lets last-level EPTs map 512
+        consecutive pages each (§5.4); the pool allocates lowest-address
+        first, so contiguity is available until fragmentation sets in.
+        """
+        if pages <= 0:
+            raise MmError("pages must be positive")
+        if pages > len(self._free):
+            raise OutOfMemoryError("not enough free huge pages")
+        # Scan the sorted free list for a contiguous run.
+        ordered = sorted(self._free)
+        run_start = 0
+        for i in range(1, len(ordered) + 1):
+            if (
+                i == len(ordered)
+                or ordered[i] != ordered[i - 1] + self.page_size
+            ):
+                if i - run_start >= pages:
+                    chosen = ordered[run_start : run_start + pages]
+                    for addr in chosen:
+                        self._free.remove(addr)
+                        self._taken.add(addr)
+                    return AddressRange(chosen[0], chosen[-1] + self.page_size)
+                run_start = i
+        raise OutOfMemoryError(
+            f"no contiguous run of {pages} huge pages on node {self.node.node_id}"
+        )
+
+    def give_back(self, addr: int) -> None:
+        """Return a page to the pool (VM shutdown, §5.3 — the node
+        reservation itself stays in place)."""
+        if addr not in self._taken:
+            raise MmError(f"page {addr:#x} was not taken from this pool")
+        self._taken.remove(addr)
+        self._free.append(addr)
+        self._free.sort(reverse=True)
+
+    def release_all(self) -> None:
+        """Destroy the pool, returning every page to the node allocator."""
+        if self._taken:
+            raise MmError("cannot release pool with pages still in use")
+        for addr in self._free:
+            self.node.free_addr(addr)
+        self._free.clear()

@@ -1,0 +1,81 @@
+"""Page offlining (paper §5.4, §6).
+
+Linux can remove faulty pages from allocatable memory; Siloz extends the
+same mechanism to pull guard-row pages (protecting EPT rows) and
+isolation-violating pages (inter-subarray repairs, scrambling boundary
+rows) out of circulation during system initialisation.  The registry
+records *why* each range was offlined so the overhead accounting benches
+can attribute reserved DRAM to its cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.dram.mapping import AddressRange, merge_ranges
+from repro.errors import OfflineError
+from repro.mm.numa import NumaNode
+
+
+class OfflineReason(Enum):
+    """Why a range was removed from allocatable memory (accounting)."""
+    GUARD_ROW = "guard-row"  # EPT protection barriers (§5.4)
+    INTER_SUBARRAY_REPAIR = "inter-subarray-repair"  # §6
+    SCRAMBLING_BOUNDARY = "scrambling-boundary"  # §6
+    ARTIFICIAL_BOUNDARY = "artificial-subarray-guard"  # §6
+    FAULTY = "faulty"  # classic bad-page offlining
+
+
+@dataclass(frozen=True)
+class OfflinedRange:
+    range: AddressRange
+    reason: OfflineReason
+    node_id: int
+
+
+class OfflineRegistry:
+    """Tracks offlined ranges and executes the removal on node pools."""
+
+    def __init__(self) -> None:
+        self._entries: list[OfflinedRange] = []
+
+    def offline(self, node: NumaNode, target: AddressRange, reason: OfflineReason) -> None:
+        """Remove *target* from *node*'s free pool.
+
+        Must run before the node serves allocations covering the range
+        (Siloz does this during early boot, §5.3); a busy range raises.
+        """
+        if not any(
+            target.start >= r.start and target.end <= r.end for r in node.ranges
+        ):
+            raise OfflineError(f"range {target} not within node {node.node_id}")
+        try:
+            node.allocator.reserve_range(target)
+        except Exception as exc:
+            raise OfflineError(f"cannot offline {target}: {exc}") from exc
+        self._entries.append(OfflinedRange(target, reason, node.node_id))
+
+    @property
+    def entries(self) -> list[OfflinedRange]:
+        return list(self._entries)
+
+    def total_bytes(self, reason: OfflineReason | None = None) -> int:
+        return sum(
+            e.range.size
+            for e in self._entries
+            if reason is None or e.reason is reason
+        )
+
+    def ranges_for(self, reason: OfflineReason) -> list[AddressRange]:
+        return merge_ranges([e.range for e in self._entries if e.reason is reason])
+
+    def is_offline(self, hpa: int) -> bool:
+        return any(hpa in e.range for e in self._entries)
+
+    def summary(self) -> dict[str, int]:
+        """Bytes offlined per reason — feeds the O1/O2 overhead benches."""
+        out: dict[str, int] = {}
+        for e in self._entries:
+            out[e.reason.value] = out.get(e.reason.value, 0) + e.range.size
+        return out

@@ -1,0 +1,33 @@
+"""Workload generators and the performance runner (paper §7.2-§7.3).
+
+The paper measures redis+YCSB, Hadoop terasort, SPEC CPU 2017, PARSEC
+3.0, memcached, SysBench mySQL and Intel MLC.  Real binaries cannot run
+here; what *can* is what determines the paper's results: each suite's
+memory-access signature (footprint, locality, read/write mix, compute
+intensity).  :mod:`repro.workloads.suites` encodes those signatures,
+:mod:`repro.workloads.trace` turns them into access streams over a VM's
+guest-physical space, and :mod:`repro.workloads.runner` replays them
+through the DDR4 timing model on whichever hypervisor (baseline, Siloz,
+Siloz-512/-2048) backs the VM.
+"""
+
+from repro.workloads.trace import GpaTranslator, TraceSpec, generate_trace
+from repro.workloads.suites import (
+    EXEC_TIME_SUITES,
+    THROUGHPUT_SUITES,
+    suite,
+    suite_names,
+)
+from repro.workloads.runner import WorkloadResult, run_in_vm
+
+__all__ = [
+    "EXEC_TIME_SUITES",
+    "GpaTranslator",
+    "THROUGHPUT_SUITES",
+    "TraceSpec",
+    "WorkloadResult",
+    "generate_trace",
+    "run_in_vm",
+    "suite",
+    "suite_names",
+]

@@ -1,0 +1,187 @@
+"""The paper's workload suites as trace signatures (§7.2, §7.3).
+
+Parameters follow each suite's published character:
+
+- **YCSB on redis** (A update-heavy 50/50, B read-heavy 95/5, C read-only,
+  D read-latest with a hot tail, E short scans, F read-modify-write):
+  point lookups over a big keyspace with Zipfian hotness — low spatial
+  locality, hot-set reuse.
+- **terasort**: streaming sort phases — high sequential locality, heavy
+  writes, large footprint.
+- **SPEC CPU 2017 (speed)**: geometric mix of compute-bound and
+  memory-bound codes — modelled as moderate locality with high CPU gaps.
+- **PARSEC 3.0**: parallel kernels with working-set reuse.
+- **memcached**: tiny random GET-dominated requests.
+- **SysBench mySQL**: OLTP point queries + updates with index locality.
+- **Intel MLC** (mlc-reads / 3:1 / 2:1 / 1:1 / stream): pure bandwidth
+  streams at fixed read:write ratios, zero think time.
+
+Footprints are expressed as fractions of VM RAM at run time; the
+figures' claims are about *relative* timing (Siloz vs baseline), which
+these signatures preserve.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import TraceSpec
+
+# footprint_bytes below is a one-line placeholder; the runner replaces
+# it with a fraction of the VM's RAM via ``suite(footprint_bytes=...)``.
+_F = 64
+
+
+def _ycsb(name: str, read_ratio: float, locality: float, hot_prob: float) -> TraceSpec:
+    return TraceSpec(
+        name=name,
+        footprint_bytes=_F,
+        read_ratio=read_ratio,
+        locality=locality,
+        hot_fraction=0.05,
+        hot_prob=hot_prob,
+        cpu_gap_ns=25.0,
+        noise=0.012,
+    )
+
+
+_SUITES: dict[str, TraceSpec] = {
+    # --- execution-time suites (Fig. 4) -------------------------------
+    "redis-a": _ycsb("redis-a", read_ratio=0.5, locality=0.05, hot_prob=0.7),
+    "redis-b": _ycsb("redis-b", read_ratio=0.95, locality=0.05, hot_prob=0.7),
+    "redis-c": _ycsb("redis-c", read_ratio=1.0, locality=0.05, hot_prob=0.7),
+    "redis-d": _ycsb("redis-d", read_ratio=0.95, locality=0.05, hot_prob=0.85),
+    "redis-e": _ycsb("redis-e", read_ratio=0.95, locality=0.55, hot_prob=0.5),
+    "redis-f": _ycsb("redis-f", read_ratio=0.5, locality=0.05, hot_prob=0.7),
+    "terasort": TraceSpec(
+        name="terasort",
+        footprint_bytes=_F,
+        read_ratio=0.55,
+        locality=0.9,
+        hot_fraction=0.02,
+        hot_prob=0.1,
+        cpu_gap_ns=12.0,
+        noise=0.015,
+    ),
+    "spec17": TraceSpec(
+        name="spec17",
+        footprint_bytes=_F,
+        read_ratio=0.75,
+        locality=0.6,
+        hot_fraction=0.15,
+        hot_prob=0.5,
+        cpu_gap_ns=45.0,
+        noise=0.010,
+    ),
+    "parsec": TraceSpec(
+        name="parsec",
+        footprint_bytes=_F,
+        read_ratio=0.7,
+        locality=0.5,
+        hot_fraction=0.2,
+        hot_prob=0.6,
+        cpu_gap_ns=30.0,
+        noise=0.012,
+    ),
+    # --- throughput suites (Fig. 5) ------------------------------------
+    "memcached": TraceSpec(
+        name="memcached",
+        footprint_bytes=_F,
+        read_ratio=0.9,
+        locality=0.1,
+        hot_fraction=0.05,
+        hot_prob=0.8,
+        cpu_gap_ns=15.0,
+        noise=0.012,
+    ),
+    "mysql": TraceSpec(
+        name="mysql",
+        footprint_bytes=_F,
+        read_ratio=0.7,
+        locality=0.3,
+        hot_fraction=0.1,
+        hot_prob=0.6,
+        cpu_gap_ns=25.0,
+        noise=0.012,
+    ),
+    "mlc-reads": TraceSpec(
+        name="mlc-reads",
+        footprint_bytes=_F,
+        read_ratio=1.0,
+        locality=0.97,
+        cpu_gap_ns=0.0,
+        noise=0.008,
+    ),
+    "mlc-3:1": TraceSpec(
+        name="mlc-3:1",
+        footprint_bytes=_F,
+        read_ratio=0.75,
+        locality=0.97,
+        cpu_gap_ns=0.0,
+        noise=0.008,
+    ),
+    "mlc-2:1": TraceSpec(
+        name="mlc-2:1",
+        footprint_bytes=_F,
+        read_ratio=2 / 3,
+        locality=0.97,
+        cpu_gap_ns=0.0,
+        noise=0.008,
+    ),
+    "mlc-1:1": TraceSpec(
+        name="mlc-1:1",
+        footprint_bytes=_F,
+        read_ratio=0.5,
+        locality=0.97,
+        cpu_gap_ns=0.0,
+        noise=0.008,
+    ),
+    "mlc-stream": TraceSpec(
+        name="mlc-stream",
+        footprint_bytes=_F,
+        read_ratio=2 / 3,  # triad: two loads, one store
+        locality=0.99,
+        cpu_gap_ns=2.0,
+        noise=0.008,
+    ),
+}
+
+#: Fig. 4's x-axis (execution time), in paper order.
+EXEC_TIME_SUITES: tuple[str, ...] = (
+    "redis-a",
+    "redis-b",
+    "redis-c",
+    "redis-d",
+    "redis-e",
+    "redis-f",
+    "terasort",
+    "spec17",
+    "parsec",
+)
+
+#: Fig. 5's x-axis (throughput).
+THROUGHPUT_SUITES: tuple[str, ...] = (
+    "memcached",
+    "mysql",
+    "mlc-reads",
+    "mlc-3:1",
+    "mlc-2:1",
+    "mlc-1:1",
+    "mlc-stream",
+)
+
+
+def suite_names() -> list[str]:
+    """All defined workload names."""
+    return list(_SUITES)
+
+
+def suite(name: str, *, footprint_bytes: int | None = None) -> TraceSpec:
+    """Fetch a suite, resolving its footprint to *footprint_bytes*."""
+    spec = _SUITES.get(name)
+    if spec is None:
+        raise WorkloadError(f"unknown workload {name!r}; know {sorted(_SUITES)}")
+    if footprint_bytes is None:
+        return spec
+    from dataclasses import replace
+
+    return replace(spec, footprint_bytes=footprint_bytes)

@@ -1,0 +1,139 @@
+"""Access-trace generation over a VM's guest-physical space.
+
+A :class:`TraceSpec` describes a workload's memory signature; the
+generator produces per-cache-line :class:`MemoryAccess` streams whose
+guest-physical addresses are translated to host-physical through the
+VM's RAM backing layout (a piecewise-linear table — walking the EPT in
+DRAM for millions of accesses would be pointlessly slow and identical in
+result, since the EPT encodes exactly this layout).
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.hv.vm import VirtualMachine
+from repro.memctrl.controller import AccessKind, MemoryAccess
+from repro.units import CACHE_LINE
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A workload's memory-access signature.
+
+    ``locality`` is the probability the next access continues
+    sequentially from the previous one (row-buffer-friendly streaming);
+    the rest jump, either to a hot region (``hot_fraction`` of the
+    footprint, chosen with ``hot_prob``) or uniformly.
+    ``cpu_gap_ns`` is mean CPU think time between memory accesses —
+    the compute-vs-memory-bound knob.
+    """
+
+    name: str
+    footprint_bytes: int
+    read_ratio: float = 0.8
+    locality: float = 0.5
+    hot_fraction: float = 0.1
+    hot_prob: float = 0.6
+    cpu_gap_ns: float = 20.0
+    #: Relative run-time noise between trials (paper error bars).
+    noise: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes < CACHE_LINE:
+            raise WorkloadError(f"{self.name}: footprint below one cache line")
+        for field_name in ("read_ratio", "locality", "hot_fraction", "hot_prob"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"{self.name}: {field_name} must be in [0, 1]")
+        if self.cpu_gap_ns < 0 or self.noise < 0:
+            raise WorkloadError(f"{self.name}: negative timing parameter")
+
+
+class GpaTranslator:
+    """Piecewise-linear GPA->HPA for a VM's RAM region.
+
+    RAM at GPA 0 is mapped across the VM's backing ranges in order, so
+    translation is an offset lookup — bit-identical to what the EPT walk
+    would return (tests assert this equivalence)."""
+
+    def __init__(self, vm: VirtualMachine):
+        self._starts: list[int] = []
+        self._bases: list[int] = []
+        gpa = 0
+        for r in vm.backing:
+            self._starts.append(gpa)
+            self._bases.append(r.start)
+            gpa += r.size
+        self.limit = gpa
+        if not self._starts:
+            raise WorkloadError(f"VM {vm.name} has no RAM backing")
+
+    def translate(self, gpa: int) -> int:
+        if not 0 <= gpa < self.limit:
+            raise WorkloadError(f"GPA {gpa:#x} beyond backed RAM {self.limit:#x}")
+        i = bisect.bisect_right(self._starts, gpa) - 1
+        return self._bases[i] + (gpa - self._starts[i])
+
+    @property
+    def fingerprint(self) -> int:
+        """Hash of the physical layout.  Mixed into the noise seed: the
+        paper attributes residual run-to-run differences partly to
+        address-dependent effects (cache slice/set indexing, §7.3), so
+        two systems placing the same VM at different HPAs draw different
+        noise."""
+        return hash(tuple(zip(self._starts, self._bases))) & 0x7FFFFFFF
+
+
+def generate_trace(
+    spec: TraceSpec,
+    translator: GpaTranslator,
+    *,
+    accesses: int,
+    seed: int = 0,
+    home_socket: int = 0,
+):
+    """Yield *accesses* MemoryAccess objects following *spec*.
+
+    Deterministic per (spec, seed).  The per-trial ``noise`` scales the
+    CPU gaps, modelling run-to-run variance (scheduler, cache state) —
+    the source of the paper's confidence intervals.
+    """
+    if accesses <= 0:
+        raise WorkloadError("accesses must be positive")
+    # The access *pattern* is a property of the workload and trial only;
+    # the noise draw additionally depends on where the VM physically
+    # landed (see GpaTranslator.fingerprint).  zlib.crc32 rather than
+    # hash(): str hashing is salted per process, and traces must be
+    # reproducible across runs.
+    name_tag = zlib.crc32(spec.name.encode())
+    rng = random.Random((name_tag ^ (seed * 0x9E3779B1)) & 0xFFFFFFFF)
+    noise_rng = random.Random(
+        (name_tag ^ (seed * 0x85EBCA6B) ^ translator.fingerprint) & 0xFFFFFFFF
+    )
+    footprint = min(spec.footprint_bytes, translator.limit)
+    lines = footprint // CACHE_LINE
+    if lines == 0:
+        raise WorkloadError("footprint smaller than a cache line")
+    hot_lines = max(1, int(lines * spec.hot_fraction))
+    gap_scale = 1.0 + noise_rng.gauss(0.0, spec.noise)
+    line = rng.randrange(lines)
+    for _ in range(accesses):
+        if rng.random() < spec.locality:
+            line = (line + 1) % lines
+        elif rng.random() < spec.hot_prob:
+            line = rng.randrange(hot_lines)
+        else:
+            line = rng.randrange(lines)
+        kind = AccessKind.READ if rng.random() < spec.read_ratio else AccessKind.WRITE
+        gap = max(0.0, rng.expovariate(1.0 / spec.cpu_gap_ns) if spec.cpu_gap_ns else 0.0)
+        yield MemoryAccess(
+            hpa=translator.translate(line * CACHE_LINE),
+            kind=kind,
+            cpu_gap_ns=gap * gap_scale,
+            home_socket=home_socket,
+        )

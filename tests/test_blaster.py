@@ -1,0 +1,83 @@
+"""Tests for BLASTER-style blast-radius measurement."""
+
+import pytest
+
+from repro.attack.blaster import BlastProfile, measure_blast_radius
+from repro.core import SilozHypervisor
+from repro.dram.disturbance import DisturbanceProfile
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.module import SimulatedDram
+from repro.errors import AttackError
+from repro.hv import Machine
+
+GEOM = DRAMGeometry.small(rows_per_bank=512, rows_per_subarray=64)
+
+
+def make_dram(weights=(1.0, 0.2), seed=5):
+    return SimulatedDram(
+        GEOM,
+        profile=DisturbanceProfile(
+            name="blaster",
+            threshold_mean=800.0,
+            distance_weights=weights,
+        ),
+        trr_config=None,
+        seed=seed,
+    )
+
+
+class TestMeasurement:
+    def test_finds_the_true_radius(self):
+        profile = measure_blast_radius(make_dram())
+        assert profile.max_distance == 2
+        assert profile.radius() == 2
+
+    def test_radius_1_dimm(self):
+        profile = measure_blast_radius(make_dram(weights=(1.0,)))
+        assert profile.radius() == 1
+
+    def test_half_double_dimm(self):
+        """A Half-Double-prone module (strong distance-2 spill)."""
+        profile = measure_blast_radius(make_dram(weights=(1.0, 0.6, 0.2)))
+        assert profile.radius() == 3
+
+    def test_distance_histogram_decreasing(self):
+        profile = measure_blast_radius(make_dram())
+        assert profile.flips_by_distance[1] > profile.flips_by_distance[2]
+
+    def test_partial_coverage_radius_smaller(self):
+        profile = measure_blast_radius(make_dram())
+        assert profile.radius(coverage=0.5) <= profile.radius()
+
+    def test_no_flips_raises(self):
+        quiet = SimulatedDram(
+            GEOM,
+            profile=DisturbanceProfile.test_scale(threshold_mean=1e9),
+            trr_config=None,
+        )
+        profile = measure_blast_radius(quiet, activations=100)
+        with pytest.raises(AttackError):
+            profile.radius()
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            measure_blast_radius(make_dram(), aggressor_rows=[])
+        with pytest.raises(AttackError):
+            BlastProfile(flips_by_distance={1: 5}).radius(coverage=0.0)
+
+
+class TestBootIntegration:
+    def test_boot_with_measured_radius(self):
+        machine = Machine.small(seed=7)
+        hv = SilozHypervisor.boot(machine, measure_blast_radius=True)
+        # The simulated DIMM has blast radius 2 (default weights).
+        assert hv.config.blast_radius == 2
+        assert machine.dram.flips_log == []  # probe ran on scratch DRAM
+
+    def test_boot_with_both_calibrations(self):
+        machine = Machine.small(seed=7)
+        hv = SilozHypervisor.boot(
+            machine, infer_subarray_size=True, measure_blast_radius=True
+        )
+        assert hv.managed_geom.rows_per_subarray == machine.geom.rows_per_subarray
+        assert hv.config.blast_radius == 2

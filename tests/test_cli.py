@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.hypervisor == "siloz"
+        assert args.budget == 40
+
+    def test_perf_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf"])
+
+    def test_perf_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf", "--figure", "9"])
+
+    def test_global_seed(self):
+        args = build_parser().parse_args(["--seed", "7", "info"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "guard rows offlined" in out
+
+    def test_attack_siloz_contained(self, capsys):
+        assert main(["--seed", "5", "attack", "--budget", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "CONTAINED" in out
+        assert "audit: clean" in out
+
+    def test_attack_baseline_runs(self, capsys):
+        assert main(["--seed", "5", "attack", "--hypervisor", "baseline",
+                     "--budget", "15"]) == 0
+        assert "verdict" in capsys.readouterr().out
+
+    def test_overheads(self, capsys):
+        assert main(["overheads"]) == 0
+        out = capsys.readouterr().out
+        assert "0.0244%" in out
+        assert "ZebRAM" in out
+
+    def test_softrefresh(self, capsys):
+        assert main(["softrefresh", "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "timer-task" in out and "guard-rows" in out
+        assert "safe" in out
+
+    def test_perf_figure4_small(self, capsys):
+        assert main(["perf", "--figure", "4", "--trials", "2",
+                     "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "geomean" in out
+
+    def test_perf_figure6_small(self, capsys):
+        assert main(["perf", "--figure", "6", "--trials", "2",
+                     "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "siloz-512" in out and "siloz-2048" in out

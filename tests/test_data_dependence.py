@@ -1,0 +1,104 @@
+"""Tests for the opt-in true-/anti-cell (data-dependent) flip model.
+
+Real Rowhammer flips are directional: a disturbance discharges a cell,
+so only cells storing their *charged* value can flip, and the flipped
+value is stable (no toggling back).  Blacksmith sweeps data patterns for
+exactly this reason.
+"""
+
+import pytest
+
+from repro.dram.disturbance import DisturbanceProfile
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.module import SimulatedDram
+
+GEOM = DRAMGeometry.small()
+
+
+def make_dram(data_dependent=True, seed=5):
+    return SimulatedDram(
+        GEOM,
+        profile=DisturbanceProfile.test_scale(threshold_mean=32.0),
+        trr_config=None,
+        seed=seed,
+        data_dependent_flips=data_dependent,
+    )
+
+
+def hammer(dram, row=3, count=2000):
+    for _ in range(count):
+        dram.activate(0, 0, row)
+
+
+class TestPolarity:
+    def test_resting_value_deterministic(self):
+        a = SimulatedDram._resting_value(0, 1, 5, 100)
+        b = SimulatedDram._resting_value(0, 1, 5, 100)
+        assert a == b and a in (0, 1)
+
+    def test_polarities_mixed(self):
+        values = {
+            SimulatedDram._resting_value(0, 0, 2, bit) for bit in range(64)
+        }
+        assert values == {0, 1}
+
+
+class TestDataDependentFlips:
+    def test_some_flips_suppressed(self):
+        dram = make_dram()
+        hammer(dram)
+        assert dram.flips_log  # charged cells still flip
+        assert dram.flips_suppressed > 0  # resting cells do not
+
+    def test_flipped_bits_land_at_rest(self):
+        dram = make_dram()
+        hammer(dram)
+        for flip in dram.flips_log:
+            resting = SimulatedDram._resting_value(
+                flip.socket, flip.bank, flip.row, flip.bit
+            )
+            assert (
+                dram._effective_bit(flip.socket, flip.bank, flip.row, flip.bit)
+                == resting
+            )
+
+    def test_no_toggling_back(self):
+        """Once at rest, further hammering cannot flip the bit again."""
+        dram = make_dram()
+        hammer(dram, count=4000)
+        seen = {}
+        for flip in dram.flips_log:
+            key = (flip.socket, flip.bank, flip.row, flip.bit)
+            seen[key] = seen.get(key, 0) + 1
+        assert all(count == 1 for count in seen.values())
+
+    def test_data_pattern_changes_victims(self):
+        """The Blacksmith insight: different victim data, different
+        flippable cells."""
+        from repro.dram.media import MediaAddress
+
+        results = []
+        for pattern in (b"\x00", b"\xff"):
+            dram = make_dram(seed=6)
+            # Fill victim rows 2 and 4 with the pattern.
+            for row in (2, 4):
+                media = MediaAddress.from_socket_bank(GEOM, 0, 0, row, 0)
+                dram.write(dram.mapping.encode(media), pattern * 64)
+            hammer(dram, row=3, count=3000)
+            results.append({(f.row, f.bit) for f in dram.flips_log})
+        assert results[0] != results[1]
+
+    def test_default_model_toggles(self):
+        """Without the option, flips toggle (the polarity-agnostic
+        default used by the containment experiments)."""
+        dram = make_dram(data_dependent=False)
+        hammer(dram, count=4000)
+        assert dram.flips_suppressed == 0
+
+    def test_containment_unaffected(self):
+        """Polarity changes which bits flip, never *where*: subarray
+        clipping holds identically."""
+        dram = make_dram()
+        hammer(dram, row=7, count=4000)
+        assert dram.flips_log
+        assert all(f.row < 8 for f in dram.flips_log)

@@ -1,0 +1,48 @@
+"""Smoke tests: every example in examples/ must run clean.
+
+Examples are user-facing documentation; a broken one is a broken
+promise.  Each runs in-process (import + main()) with output captured.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+#: Examples too slow for every test run; still covered by CI-style full
+#: runs (and they only compose already-tested pieces).
+SLOW = {"attack_containment", "subarray_sensitivity"}
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("name", [e for e in EXAMPLES if e not in SLOW])
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(SLOW))
+def test_slow_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    assert capsys.readouterr().out.strip()

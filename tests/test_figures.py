@@ -1,0 +1,87 @@
+"""Tests for ASCII figure rendering and JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.experiments import PerfComparison
+from repro.eval.figures import (
+    _bar,
+    comparison_from_json,
+    comparison_to_json,
+    render_bars,
+)
+
+
+@pytest.fixture
+def comparison():
+    comp = PerfComparison(metric="time")
+    for trial, (base, siloz) in enumerate([(1.00, 1.01), (1.02, 1.00), (0.99, 1.02)]):
+        comp.add("redis-a", "baseline", base)
+        comp.add("redis-a", "siloz", siloz)
+        comp.add("terasort", "baseline", base * 2)
+        comp.add("terasort", "siloz", siloz * 2 * 0.98)
+    return comp
+
+
+class TestBar:
+    def test_zero_is_centre_line(self):
+        assert _bar(0.0, 2.5, 40) == " " * 20 + "|" + " " * 20
+
+    def test_positive_goes_right(self):
+        bar = _bar(1.25, 2.5, 40)
+        left, right = bar.split("|")
+        assert "#" not in left and right.startswith("##")
+
+    def test_negative_goes_left(self):
+        bar = _bar(-1.25, 2.5, 40)
+        left, right = bar.split("|")
+        assert left.endswith("##") and "#" not in right
+
+    def test_clamped_at_full_scale(self):
+        bar = _bar(100.0, 2.5, 40)
+        assert bar.count("#") == 20
+
+    def test_scale_validated(self):
+        with pytest.raises(ReproError):
+            _bar(1.0, 0.0, 40)
+
+
+class TestRenderBars:
+    def test_contains_all_workloads(self, comparison):
+        text = render_bars(comparison, title="Fig test")
+        assert "Fig test" in text
+        assert "redis-a [siloz]" in text and "terasort [siloz]" in text
+        assert "%" in text and "±" in text
+
+    def test_requires_non_baseline_system(self):
+        comp = PerfComparison(metric="time")
+        comp.add("w", "baseline", 1.0)
+        with pytest.raises(ReproError):
+            render_bars(comp)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_trials(self, comparison):
+        text = comparison_to_json(comparison)
+        back = comparison_from_json(text)
+        assert back.metric == comparison.metric
+        for workload in comparison.workloads():
+            for system in comparison.systems():
+                assert back.trials(workload, system) == comparison.trials(
+                    workload, system
+                )
+
+    def test_json_has_derived_stats(self, comparison):
+        payload = json.loads(comparison_to_json(comparison))
+        assert "geomean_ratio" in payload
+        assert "siloz" in payload["geomean_ratio"]
+        over = payload["workloads"]["redis-a"]["overhead_pct"]["siloz"]
+        assert "mean" in over and "ci95" in over
+
+    def test_roundtrip_overheads_match(self, comparison):
+        back = comparison_from_json(comparison_to_json(comparison))
+        assert back.overhead_percent("redis-a", "siloz") == pytest.approx(
+            comparison.overhead_percent("redis-a", "siloz")
+        )

@@ -1,0 +1,116 @@
+"""Unit tests for repro.dram.geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.geometry import DRAMGeometry
+from repro.errors import GeometryError
+from repro.units import GiB, KiB, MiB
+
+
+class TestPaperDefault:
+    """Table 2 numbers must fall out of the default geometry."""
+
+    def setup_method(self):
+        self.geom = DRAMGeometry.paper_default()
+
+    def test_banks_per_socket_is_192(self):
+        assert self.geom.banks_per_socket == 192
+
+    def test_bank_is_1_gib(self):
+        assert self.geom.bank_bytes == 1 * GiB
+
+    def test_socket_capacity_is_192_gib(self):
+        assert self.geom.socket_bytes == 192 * GiB
+
+    def test_total_capacity_is_384_gib(self):
+        assert self.geom.total_bytes == 384 * GiB
+
+    def test_dimm_is_32_gib(self):
+        assert self.geom.dimm_bytes == 32 * GiB
+
+    def test_subarray_group_is_1_5_gib(self):
+        # 192 banks * 1024 rows * 8 KiB (paper §4.1)
+        assert self.geom.subarray_group_bytes == 1536 * MiB
+
+    def test_128_subarrays_per_bank(self):
+        assert self.geom.subarrays_per_bank == 128
+
+    def test_row_group_is_1_5_mib(self):
+        assert self.geom.row_group_bytes == 192 * 8 * KiB
+
+    def test_groups_per_socket(self):
+        assert self.geom.groups_per_socket == 128
+        assert self.geom.total_groups == 256
+
+
+class TestSubarraySizeVariants:
+    """§7.4: group size scales linearly with the subarray-size parameter."""
+
+    @pytest.mark.parametrize(
+        "rows,expected_gib",
+        [(512, 0.75), (1024, 1.5), (2048, 3.0)],
+    )
+    def test_group_size_scaling(self, rows, expected_gib):
+        geom = DRAMGeometry.paper_default().with_subarray_rows(rows)
+        assert geom.subarray_group_bytes == int(expected_gib * GiB)
+
+    def test_variant_keeps_hardware_shape(self):
+        base = DRAMGeometry.paper_default()
+        variant = base.with_subarray_rows(512)
+        assert variant.banks_per_socket == base.banks_per_socket
+        assert variant.rows_per_bank == base.rows_per_bank
+        assert variant.groups_per_socket == 2 * base.groups_per_socket
+
+
+class TestValidation:
+    def test_rejects_non_divisible_subarray(self):
+        with pytest.raises(GeometryError):
+            DRAMGeometry(rows_per_bank=100, rows_per_subarray=33)
+
+    def test_rejects_zero_fields(self):
+        with pytest.raises(GeometryError):
+            DRAMGeometry(sockets=0)
+
+    def test_rejects_non_power_of_two_row_bytes(self):
+        with pytest.raises(GeometryError):
+            DRAMGeometry(row_bytes=3000)
+
+    def test_row_bounds_checked(self):
+        geom = DRAMGeometry.small()
+        with pytest.raises(GeometryError):
+            geom.subarray_of_row(geom.rows_per_bank)
+        with pytest.raises(GeometryError):
+            geom.subarray_of_row(-1)
+
+
+class TestSubarrayMath:
+    def setup_method(self):
+        self.geom = DRAMGeometry.small()  # 8-row subarrays
+
+    def test_subarray_of_row(self):
+        assert self.geom.subarray_of_row(0) == 0
+        assert self.geom.subarray_of_row(7) == 0
+        assert self.geom.subarray_of_row(8) == 1
+
+    def test_subarray_row_range(self):
+        assert list(self.geom.subarray_row_range(1)) == list(range(8, 16))
+
+    def test_subarray_row_range_bounds(self):
+        with pytest.raises(GeometryError):
+            self.geom.subarray_row_range(self.geom.subarrays_per_bank)
+
+    def test_same_subarray(self):
+        assert self.geom.same_subarray(0, 7)
+        assert not self.geom.same_subarray(7, 8)
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_row_in_its_own_subarray_range(self, row):
+        geom = DRAMGeometry.small()
+        assert row in geom.subarray_row_range(geom.subarray_of_row(row))
+
+    def test_describe_mentions_capacity(self):
+        text = DRAMGeometry.paper_default().describe()
+        assert "384 GiB" in text
+        assert "1.5 GiB" in text

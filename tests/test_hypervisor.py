@@ -1,0 +1,186 @@
+"""Integration tests for the baseline hypervisor and VM lifecycle."""
+
+import pytest
+
+from repro.errors import HvError, OutOfMemoryError
+from repro.hv import (
+    BaselineHypervisor,
+    Machine,
+    MemoryRegionKind,
+    VmSpec,
+)
+from repro.hv.memory_types import MemoryRegion, default_layout
+from repro.hv.vm import VmState
+from repro.units import KiB, MiB, PAGE_4K
+
+BACKING = 64 * KiB  # page-granular backing for the small machine
+
+
+def make_hv(**machine_kwargs):
+    machine = Machine.small(**machine_kwargs)
+    return BaselineHypervisor(machine, backing_page_bytes=BACKING)
+
+
+def spec(name="vm0", mem=1 * MiB, **kwargs):
+    return VmSpec(name=name, memory_bytes=mem, **kwargs)
+
+
+class TestMemoryTypes:
+    def test_mediation_classification(self):
+        assert MemoryRegionKind.RAM.unmediated
+        assert MemoryRegionKind.ROM.unmediated
+        assert MemoryRegionKind.MMIO_DIRECT.unmediated
+        assert not MemoryRegionKind.MMIO_EMULATED.unmediated
+        assert not MemoryRegionKind.VIRTIO.unmediated
+
+    def test_default_layout_shape(self):
+        regions = default_layout(1 * MiB, rom_bytes=16 * KiB, mmio_bytes=16 * KiB)
+        assert [r.name for r in regions] == ["ram", "rom", "mmio", "virtio"]
+        assert regions[0].size == 1 * MiB
+        assert regions[1].gpa == 1 * MiB
+
+    def test_region_contains(self):
+        r = MemoryRegion("x", 0x1000, 0x1000, MemoryRegionKind.RAM)
+        assert 0x1000 in r and 0x1fff in r and 0x2000 not in r
+
+    def test_region_validation(self):
+        with pytest.raises(HvError):
+            MemoryRegion("x", 0, 0, MemoryRegionKind.RAM)
+        with pytest.raises(HvError):
+            MemoryRegion("x", -1, 10, MemoryRegionKind.RAM)
+
+
+class TestVmSpec:
+    def test_rejects_bad_memory(self):
+        with pytest.raises(HvError):
+            VmSpec(name="x", memory_bytes=0)
+
+    def test_rejects_bad_vcpus(self):
+        with pytest.raises(HvError):
+            VmSpec(name="x", memory_bytes=1 * MiB, vcpus=0)
+
+
+class TestBaselineTopology:
+    def test_one_node_per_socket(self):
+        hv = make_hv(sockets=1)
+        assert len(hv.topology) == 1
+        node = hv.topology.node(0)
+        assert node.cpus  # host nodes own cores
+        assert node.total_bytes == hv.machine.geom.socket_bytes
+
+
+class TestVmLifecycle:
+    def setup_method(self):
+        self.hv = make_hv()
+
+    def test_create_vm_basics(self):
+        vm = self.hv.create_vm(spec())
+        assert vm.state is VmState.RUNNING
+        assert vm.unmediated_bytes >= 1 * MiB
+        assert vm.ept.mapped_bytes > 0
+
+    def test_duplicate_name_rejected(self):
+        self.hv.create_vm(spec())
+        with pytest.raises(HvError):
+            self.hv.create_vm(spec())
+
+    def test_unaligned_memory_rejected(self):
+        with pytest.raises(HvError):
+            self.hv.create_vm(spec(mem=BACKING + PAGE_4K))
+
+    def test_guest_read_write(self):
+        vm = self.hv.create_vm(spec())
+        vm.write(0x5000, b"tenant data")
+        assert vm.read(0x5000, 11) == b"tenant data"
+
+    def test_guest_data_lands_at_translated_hpa(self):
+        vm = self.hv.create_vm(spec())
+        vm.write(0x5000, b"x")
+        hpa = vm.translate(0x5000)
+        assert self.hv.machine.dram.read(hpa, 1) == b"x"
+
+    def test_vms_have_disjoint_backing(self):
+        a = self.hv.create_vm(spec("a"))
+        b = self.hv.create_vm(spec("b"))
+        for ra in a.backing:
+            for rb in b.backing:
+                assert not ra.overlaps(rb)
+
+    def test_mediated_access_counts_exits(self):
+        vm = self.hv.create_vm(spec())
+        mmio = next(r for r in vm.regions if r.name == "mmio")
+        vm.read(mmio.gpa, 4)
+        assert vm.vm_exits == 1
+
+    def test_ram_access_no_exit(self):
+        vm = self.hv.create_vm(spec())
+        vm.read(0, 4)
+        assert vm.vm_exits == 0
+
+    def test_hammer_requires_unmediated(self):
+        vm = self.hv.create_vm(spec())
+        mmio = next(r for r in vm.regions if r.name == "mmio")
+        with pytest.raises(HvError):
+            vm.hammer(mmio.gpa, 10)
+
+    def test_hammer_ram_allowed(self):
+        vm = self.hv.create_vm(spec())
+        vm.hammer(0x0, 10)  # no flips expected at this intensity
+
+    def test_destroy_returns_memory(self):
+        free_before = sum(n.free_bytes for n in self.hv.topology.nodes)
+        self.hv.create_vm(spec())
+        self.hv.destroy_vm("vm0")
+        free_after = sum(n.free_bytes for n in self.hv.topology.nodes)
+        assert free_after == free_before
+
+    def test_destroy_twice_rejected(self):
+        self.hv.create_vm(spec())
+        self.hv.destroy_vm("vm0")
+        with pytest.raises(HvError):
+            self.hv.destroy_vm("vm0")
+
+    def test_shutdown_vm_rejects_access(self):
+        vm = self.hv.create_vm(spec())
+        self.hv.destroy_vm("vm0")
+        with pytest.raises(HvError):
+            vm.read(0, 4)
+
+    def test_release_reservation_requires_shutdown(self):
+        self.hv.create_vm(spec())
+        with pytest.raises(HvError):
+            self.hv.release_reservation("vm0")
+        self.hv.destroy_vm("vm0")
+        self.hv.release_reservation("vm0")
+        assert "vm0" not in self.hv.vms
+
+    def test_oom_rolls_back(self):
+        cap = self.hv.machine.geom.socket_bytes
+        with pytest.raises(OutOfMemoryError):
+            self.hv.create_vm(spec(mem=2 * cap))
+        # Allocator must be whole again.
+        vm = self.hv.create_vm(spec(mem=1 * MiB))
+        assert vm.unmediated_bytes >= 1 * MiB
+
+    def test_groups_of_vm_nonempty(self):
+        vm = self.hv.create_vm(spec())
+        assert self.hv.groups_of_vm(vm)
+
+    def test_vm_lookup(self):
+        self.hv.create_vm(spec())
+        assert self.hv.vm("vm0").name == "vm0"
+        with pytest.raises(HvError):
+            self.hv.vm("nope")
+
+
+class TestBaselineCoLocation:
+    """The vulnerability: baseline VMs share subarray groups."""
+
+    def test_adjacent_vms_share_groups(self):
+        hv = make_hv()
+        # Two small VMs: the baseline allocates them back to back inside
+        # the same subarray group(s).
+        a = hv.create_vm(spec("a", mem=256 * KiB))
+        b = hv.create_vm(spec("b", mem=256 * KiB))
+        shared = hv.groups_of_vm(a) & hv.groups_of_vm(b)
+        assert shared  # co-located: inter-VM hammering is possible

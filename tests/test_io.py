@@ -1,0 +1,190 @@
+"""Tests for guest IO paths: passthrough IOMMU (SR-IOV) and virtio.
+
+Paper §5.1: virtio DMAs are host-mediated (rate-limitable); secure
+passthrough requires the IOMMU to confine device DMA to the guest's
+subarray groups and IOMMU tables to be protected like EPTs.
+"""
+
+import pytest
+
+from repro.core import SilozHypervisor
+from repro.core.groups import ept_rows
+from repro.errors import HvError
+from repro.hv import BaselineHypervisor, Machine, VmSpec
+from repro.hv.iommu import IommuDomain, IommuFault, PassthroughDevice
+from repro.hv.virtio import (
+    DmaBudgetExceeded,
+    DmaRateLimiter,
+    VirtioDevice,
+    Virtqueue,
+)
+from repro.units import KiB, MiB
+
+
+@pytest.fixture
+def siloz():
+    return SilozHypervisor.boot(Machine.small(seed=31))
+
+
+@pytest.fixture
+def vm(siloz):
+    return siloz.create_vm(VmSpec(name="tenant", memory_bytes=2 * MiB))
+
+
+class TestIommuDomain:
+    def test_map_translate(self, siloz, vm):
+        device = siloz.attach_passthrough_device("tenant", "vf0")
+        # IOVA 0 maps to the VM's first backing page.
+        assert device.domain.translate(0) == vm.backing[0].start
+
+    def test_unmapped_iova_faults(self, siloz, vm):
+        device = siloz.attach_passthrough_device("tenant", "vf0")
+        with pytest.raises(IommuFault):
+            device.domain.translate(1 << 40)
+
+    def test_dma_read_write_roundtrip(self, siloz, vm):
+        device = siloz.attach_passthrough_device("tenant", "vf0")
+        device.dma_write(0x3000, b"packet data")
+        assert device.dma_read(0x3000, 11) == b"packet data"
+        # The guest sees the DMA'd data at the same GPA (identity IOVA).
+        assert vm.read(0x3000, 11) == b"packet data"
+        assert device.stats.reads == 1 and device.stats.writes == 1
+
+    def test_domain_confined_to_vm_backing(self, siloz, vm):
+        """§5.1 requirement (1): the device cannot reach beyond the VM's
+        own memory, no matter the IOVA."""
+        device = siloz.attach_passthrough_device("tenant", "vf0")
+        other = siloz.create_vm(VmSpec(name="other", memory_bytes=2 * MiB))
+        limit = sum(r.size for r in vm.backing)
+        for iova in range(0, limit, 64 * KiB):
+            hpa = device.domain.translate(iova)
+            assert vm.owns_hpa(hpa)
+            assert not other.owns_hpa(hpa)
+        with pytest.raises(IommuFault):
+            device.domain.translate(limit)
+
+    def test_iommu_tables_in_protected_row_group(self, siloz, vm):
+        """§5.1 requirement (2): IOMMU page tables share the EPT row
+        group's guard protection under Siloz."""
+        device = siloz.attach_passthrough_device("tenant", "vf0")
+        rows = ept_rows(siloz.config, siloz.machine.geom)
+        for page in device.domain.table_pages:
+            media = siloz.machine.mapping.decode(page)
+            assert media.row in rows
+
+    def test_dma_hammer_contained(self, siloz, vm):
+        """DMA-based hammering (GuardION-style) stays inside the VM's
+        subarray groups because the IOMMU bounds the reachable rows."""
+        device = siloz.attach_passthrough_device("tenant", "vf0")
+        geom = siloz.machine.geom
+        flips = device.dma_hammer(0x0, activations=4000)
+        groups = {g for _, g in vm.reserved_groups}
+        for flip in siloz.machine.dram.flips_log:
+            assert flip.row // geom.rows_per_subarray in groups
+        assert device.stats.hammer_activations == 4000
+
+    def test_attach_to_shutdown_vm_rejected(self, siloz, vm):
+        siloz.destroy_vm("tenant")
+        with pytest.raises(HvError):
+            siloz.attach_passthrough_device("tenant", "vf0")
+
+    def test_destroy_vm_frees_domain_pages(self, siloz, vm):
+        device = siloz.attach_passthrough_device("tenant", "vf0")
+        pages = list(device.domain.table_pages)
+        assert pages
+        siloz.destroy_vm("tenant")
+        # Pages are back in the EPT node's pool: a new VM + device can
+        # re-allocate them.
+        vm2 = siloz.create_vm(VmSpec(name="t2", memory_bytes=2 * MiB))
+        dev2 = siloz.attach_passthrough_device("t2", "vf0")
+        assert set(dev2.domain.table_pages) & set(pages)
+
+    def test_baseline_also_supports_passthrough(self):
+        hv = BaselineHypervisor(Machine.small(seed=32), backing_page_bytes=64 * KiB)
+        vm = hv.create_vm(VmSpec(name="v", memory_bytes=1 * MiB))
+        device = hv.attach_passthrough_device("v", "vf0")
+        device.dma_write(0, b"x")
+        assert vm.read(0, 1) == b"x"
+
+
+class TestDmaRateLimiter:
+    def test_budget_enforced(self):
+        limiter = DmaRateLimiter(ops_per_window=2)
+        limiter.consume()
+        limiter.consume()
+        with pytest.raises(DmaBudgetExceeded):
+            limiter.consume()
+        assert limiter.refused == 1
+
+    def test_window_refills(self):
+        limiter = DmaRateLimiter(ops_per_window=1)
+        limiter.consume()
+        limiter.new_window()
+        limiter.consume()
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(HvError):
+            DmaRateLimiter(ops_per_window=0)
+
+
+class TestVirtio:
+    RING_GPA = 0x10000
+    BUF_OUT = 0x20000
+    BUF_IN = 0x30000
+
+    def _setup(self, vm, limiter=None):
+        queue = Virtqueue(vm, self.RING_GPA, size=8)
+        device = VirtioDevice(vm, queue, limiter=limiter)
+        return queue, device
+
+    def test_loopback_roundtrip(self, siloz, vm):
+        queue, device = self._setup(vm)
+        vm.write(self.BUF_OUT, b"hello virtio")
+        queue.guest_post(0, self.BUF_OUT, 12, device_writes=False)
+        queue.guest_post(1, self.BUF_IN, 12, device_writes=True)
+        assert device.process() == 2
+        assert vm.read(self.BUF_IN, 12) == b"hello virtio"[::-1]
+        assert queue.used == [(0, 0), (1, 12)]
+
+    def test_descriptor_ring_lives_in_guest_memory(self, siloz, vm):
+        queue, _ = self._setup(vm)
+        queue.guest_post(0, self.BUF_OUT, 4, device_writes=False)
+        hpa = vm.translate(self.RING_GPA)
+        assert vm.owns_hpa(hpa)
+
+    def test_host_performs_the_dma(self, siloz, vm):
+        """The guest only writes descriptors; transfers happen in host
+        code and are counted there (mediation, §5.1)."""
+        queue, device = self._setup(vm)
+        vm.write(self.BUF_OUT, b"abcd")
+        queue.guest_post(0, self.BUF_OUT, 4, device_writes=False)
+        assert device.dma_ops == 0
+        device.process()
+        assert device.dma_ops == 1
+
+    def test_rate_limiter_stops_dma_storm(self, siloz, vm):
+        """The §5.1 mitigation: the host can throttle exit-driven DMA."""
+        queue, device = self._setup(vm, limiter=DmaRateLimiter(ops_per_window=3))
+        for i in range(6):
+            queue.guest_post(i, self.BUF_OUT + i * 64, 16, device_writes=False)
+        with pytest.raises(DmaBudgetExceeded):
+            device.process()
+        assert device.dma_ops == 3
+        device.limiter.new_window()
+        device.process()  # remaining descriptors drain next window
+
+    def test_bad_descriptor_index_rejected(self, siloz, vm):
+        queue, _ = self._setup(vm)
+        with pytest.raises(HvError):
+            queue.guest_post(99, self.BUF_OUT, 4, device_writes=False)
+
+    def test_mediated_region_buffers_rejected(self, siloz, vm):
+        queue, device = self._setup(vm)
+        mmio = next(r for r in vm.regions if r.name == "mmio")
+        queue.guest_post(0, mmio.gpa, 4, device_writes=False)
+        with pytest.raises(HvError):
+            device.process()
+
+    def test_zero_size_queue_rejected(self, siloz, vm):
+        with pytest.raises(HvError):
+            Virtqueue(vm, self.RING_GPA, size=0)

@@ -1,0 +1,55 @@
+"""Tests for library logging integration."""
+
+import logging
+
+import pytest
+
+from repro.core import SilozHypervisor
+from repro.hv import Machine, VmSpec
+from repro.hv.mce import MceHandler
+from repro.errors import UncorrectableError
+from repro.log import enable_console_logging, get_logger
+from repro.units import MiB
+
+
+class TestLoggers:
+    def test_namespace(self):
+        assert get_logger("core.siloz").name == "repro.core.siloz"
+
+    def test_root_has_null_handler(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_enable_console_idempotent(self):
+        enable_console_logging()
+        enable_console_logging(logging.DEBUG)
+        root = logging.getLogger("repro")
+        streams = [
+            h
+            for h in root.handlers
+            if isinstance(h, logging.StreamHandler)
+            and not isinstance(h, logging.NullHandler)
+        ]
+        assert len(streams) == 1
+        assert root.level == logging.DEBUG
+
+
+class TestEvents:
+    def test_boot_and_placement_logged(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro"):
+            hv = SilozHypervisor.boot(Machine.small(seed=81))
+            hv.create_vm(VmSpec(name="tenant", memory_bytes=2 * MiB))
+        messages = " ".join(r.message for r in caplog.records)
+        assert "provisioned" in messages
+        assert "VM tenant placed" in messages
+
+    def test_mce_logged_as_warning(self, caplog):
+        hv = SilozHypervisor.boot(Machine.small(seed=82))
+        vm = hv.create_vm(VmSpec(name="t", memory_bytes=2 * MiB))
+        mce = MceHandler(hv)
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            mce.handle(UncorrectableError("uc", address=vm.translate(0x0)))
+        assert any(
+            r.levelno == logging.WARNING and "uncorrectable" in r.message
+            for r in caplog.records
+        )

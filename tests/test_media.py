@@ -1,0 +1,112 @@
+"""Unit tests for repro.dram.media."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.media import MediaAddress
+from repro.errors import AddressError
+
+GEOM = DRAMGeometry.small(sockets=2)
+
+
+class TestValidation:
+    def test_valid_address_passes(self):
+        addr = MediaAddress(0, 0, 0, 0, 0, 0, 0)
+        assert addr.validate(GEOM) is addr
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("socket", 2),
+            ("channel", 2),
+            ("dimm", 1),
+            ("rank", 1),
+            ("bank", 4),
+            ("row", 64),
+            ("col", 8192),
+        ],
+    )
+    def test_out_of_range_rejected(self, field, value):
+        kwargs = dict(socket=0, channel=0, dimm=0, rank=0, bank=0, row=0, col=0)
+        kwargs[field] = value
+        with pytest.raises(AddressError):
+            MediaAddress(**kwargs).validate(GEOM)
+
+    def test_negative_rejected(self):
+        with pytest.raises(AddressError):
+            MediaAddress(0, 0, 0, 0, 0, -1, 0).validate(GEOM)
+
+
+class TestBankIndexCodec:
+    def test_first_and_last(self):
+        first = MediaAddress(0, 0, 0, 0, 0, 0, 0)
+        assert first.socket_bank_index(GEOM) == 0
+        last = MediaAddress(
+            0,
+            GEOM.channels_per_socket - 1,
+            GEOM.dimms_per_channel - 1,
+            GEOM.ranks_per_dimm - 1,
+            GEOM.banks_per_rank - 1,
+            0,
+            0,
+        )
+        assert last.socket_bank_index(GEOM) == GEOM.banks_per_socket - 1
+
+    def test_global_index_offsets_by_socket(self):
+        addr = MediaAddress(1, 0, 0, 0, 0, 0, 0)
+        assert addr.global_bank_index(GEOM) == GEOM.banks_per_socket
+
+    @given(
+        socket=st.integers(0, 1),
+        bank=st.integers(0, GEOM.banks_per_socket - 1),
+        row=st.integers(0, GEOM.rows_per_bank - 1),
+    )
+    def test_roundtrip(self, socket, bank, row):
+        addr = MediaAddress.from_socket_bank(GEOM, socket, bank, row)
+        assert addr.socket_bank_index(GEOM) == bank
+        assert addr.socket == socket
+        assert addr.row == row
+
+    def test_from_socket_bank_rejects_bad_index(self):
+        with pytest.raises(AddressError):
+            MediaAddress.from_socket_bank(GEOM, 0, GEOM.banks_per_socket, 0)
+
+    def test_paper_geometry_bank_count(self):
+        geom = DRAMGeometry.paper_default()
+        seen = set()
+        for ch in range(geom.channels_per_socket):
+            for rank in range(geom.ranks_per_dimm):
+                for bank in range(geom.banks_per_rank):
+                    addr = MediaAddress(0, ch, 0, rank, bank, 0, 0)
+                    seen.add(addr.socket_bank_index(geom))
+        assert seen == set(range(192))
+
+
+class TestHelpers:
+    def test_same_bank(self):
+        a = MediaAddress(0, 1, 0, 0, 2, 5, 0)
+        assert a.same_bank(a.with_row(9))
+        assert not a.same_bank(MediaAddress(0, 1, 0, 0, 3, 5, 0))
+
+    def test_with_row_keeps_col_unless_given(self):
+        a = MediaAddress(0, 0, 0, 0, 0, 1, 128)
+        assert a.with_row(2).col == 128
+        assert a.with_row(2, col=0).col == 0
+
+    def test_subarray(self):
+        a = MediaAddress(0, 0, 0, 0, 0, 9, 0)
+        assert a.subarray(GEOM) == 1
+
+    def test_bank_key(self):
+        a = MediaAddress(1, 0, 0, 0, 3, 0, 0)
+        assert a.bank_key(GEOM) == (1, 3)
+
+    def test_str_is_compact(self):
+        assert str(MediaAddress(0, 1, 0, 0, 2, 5, 64)) == "s0.c1.d0.r0.b2.row5+0x40"
+
+    def test_ordering_is_total(self):
+        a = MediaAddress(0, 0, 0, 0, 0, 0, 0)
+        b = MediaAddress(0, 0, 0, 0, 0, 1, 0)
+        assert a < b

@@ -1,0 +1,103 @@
+"""Tests for mFIT-style subarray-size inference (§4.1)."""
+
+import pytest
+
+from repro.attack.mfit import (
+    activations_to_flip,
+    infer_subarray_rows,
+    verify_inference,
+)
+from repro.core import SilozHypervisor
+from repro.dram.disturbance import DisturbanceProfile
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.module import SimulatedDram
+from repro.errors import AttackError
+from repro.hv import Machine
+
+
+def make_dram(rows_per_bank=512, rows_per_subarray=64, threshold=1500.0, seed=3):
+    geom = DRAMGeometry.small(
+        rows_per_bank=rows_per_bank, rows_per_subarray=rows_per_subarray
+    )
+    return SimulatedDram(
+        geom,
+        profile=DisturbanceProfile.test_scale(threshold_mean=threshold),
+        trr_config=None,
+        seed=seed,
+    )
+
+
+class TestActivationsToFlip:
+    def test_interior_victim_flips(self):
+        dram = make_dram()
+        acts = activations_to_flip(dram, 0, 0, victim_row=10)
+        assert acts is not None
+        # Roughly the threshold (both aggressors contribute weight 1).
+        assert 512 <= acts <= 8192
+
+    def test_boundary_victim_needs_more(self):
+        dram = make_dram()
+        interior = activations_to_flip(dram, 0, 0, victim_row=10)
+        boundary = activations_to_flip(dram, 0, 0, victim_row=63)
+        assert boundary is None or boundary > 1.4 * interior
+
+    def test_cap_returns_none(self):
+        dram = make_dram(threshold=10_000.0)
+        assert activations_to_flip(dram, 0, 0, 10, cap=512) is None
+
+    def test_edge_victim_rejected(self):
+        dram = make_dram()
+        with pytest.raises(AttackError):
+            activations_to_flip(dram, 0, 0, 0)
+        with pytest.raises(AttackError):
+            activations_to_flip(dram, 0, 0, dram.geom.rows_per_bank - 1)
+
+
+class TestInference:
+    def test_infers_64_row_subarrays(self):
+        assert infer_subarray_rows(make_dram(), max_rows=200) == 64
+
+    def test_infers_8_row_subarrays(self):
+        dram = SimulatedDram(
+            DRAMGeometry.small(),
+            profile=DisturbanceProfile.test_scale(threshold_mean=300.0),
+            trr_config=None,
+            seed=3,
+        )
+        assert infer_subarray_rows(dram, max_rows=40) == 8
+
+    def test_different_seeds_agree(self):
+        sizes = {
+            infer_subarray_rows(make_dram(seed=s), max_rows=200) for s in (1, 2, 3)
+        }
+        assert sizes == {64}
+
+    def test_window_without_boundary_raises(self):
+        with pytest.raises(AttackError, match="no boundary"):
+            infer_subarray_rows(make_dram(), max_rows=40)  # < one subarray
+
+    def test_too_small_window_rejected(self):
+        with pytest.raises(AttackError):
+            infer_subarray_rows(make_dram(), max_rows=3)
+
+    def test_verify_inference(self):
+        dram = make_dram()
+        assert verify_inference(dram, 64)
+        assert not verify_inference(dram, 0)
+        assert not verify_inference(dram, 500)  # does not divide 512 rows
+        assert not verify_inference(dram, 96)  # not a power of two
+        assert verify_inference(dram, 128)  # 2^7 and divides the bank
+
+
+class TestBootIntegration:
+    def test_boot_with_inference(self):
+        """§4.1 end to end: Siloz calibrates the subarray size itself
+        and manages the correct group geometry."""
+        machine = Machine.small(seed=6)
+        hv = SilozHypervisor.boot(machine, infer_subarray_size=True)
+        assert hv.managed_geom.rows_per_subarray == machine.geom.rows_per_subarray
+
+    def test_inference_leaves_production_dram_clean(self):
+        machine = Machine.small(seed=6)
+        SilozHypervisor.boot(machine, infer_subarray_size=True)
+        assert machine.dram.flips_log == []

@@ -1,0 +1,164 @@
+"""Property-based and stateful tests on core data structures.
+
+Hypothesis drives random operation sequences and inputs against the
+invariants everything else relies on: buddy-allocator conservation and
+non-overlap, mapping bijectivity on random geometries, EPT map/translate
+consistency, and transform involutions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.mapping import AddressRange, SkylakeMapping
+from repro.errors import OutOfMemoryError
+from repro.mm.buddy import MIN_BLOCK, BuddyAllocator
+from repro.units import CACHE_LINE, MiB
+
+
+class BuddyMachine(RuleBasedStateMachine):
+    """Random alloc/free sequences must conserve memory, never hand out
+    overlapping blocks, and always coalesce back to a full pool."""
+
+    POOL = 4 * MiB
+
+    def __init__(self):
+        super().__init__()
+        self.allocator = BuddyAllocator([AddressRange(0, self.POOL)])
+        self.live: dict[int, int] = {}  # addr -> size
+
+    @rule(order=st.integers(min_value=0, max_value=6))
+    def alloc(self, order):
+        try:
+            addr = self.allocator.alloc(order)
+        except OutOfMemoryError:
+            return
+        size = MIN_BLOCK << order
+        # Non-overlap with every live block.
+        for other, osize in self.live.items():
+            assert addr + size <= other or other + osize <= addr
+        assert addr % size == 0  # natural alignment
+        assert 0 <= addr and addr + size <= self.POOL
+        self.live[addr] = size
+
+    @rule(data=st.data())
+    @precondition(lambda self: self.live)
+    def free(self, data):
+        addr = data.draw(st.sampled_from(sorted(self.live)))
+        self.allocator.free(addr)
+        del self.live[addr]
+
+    @invariant()
+    def memory_conserved(self):
+        used = sum(self.live.values())
+        assert self.allocator.free_bytes == self.POOL - used
+        assert self.allocator.allocated_bytes == used
+
+    def teardown(self):
+        for addr in list(self.live):
+            self.allocator.free(addr)
+        # Full coalescing: the whole pool is one piece again.
+        assert self.allocator.free_bytes == self.POOL
+        got = self.allocator.alloc_bytes(2 * MiB)
+        self.allocator.free(got)
+
+
+TestBuddyStateful = BuddyMachine.TestCase
+TestBuddyStateful.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+
+
+geometries = st.sampled_from(
+    [
+        DRAMGeometry.small(),
+        DRAMGeometry.small(sockets=2),
+        DRAMGeometry.small(rows_per_bank=512, rows_per_subarray=64),
+        DRAMGeometry.small(banks_per_rank=2, channels_per_socket=4),
+    ]
+)
+
+
+class TestMappingProperties:
+    @given(geom=geometries, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_decode_encode_bijective(self, geom, data):
+        mapping = SkylakeMapping.for_small_geometry(geom)
+        hpa = data.draw(st.integers(0, geom.total_bytes - 1))
+        media = mapping.decode(hpa)
+        assert mapping.encode(media) == hpa
+
+    @given(geom=geometries, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_line_stays_together(self, geom, data):
+        """All 64 bytes of a cache line live in one bank and row."""
+        mapping = SkylakeMapping.for_small_geometry(geom)
+        line = data.draw(st.integers(0, geom.total_bytes // CACHE_LINE - 1))
+        base = mapping.decode(line * CACHE_LINE)
+        last = mapping.decode(line * CACHE_LINE + CACHE_LINE - 1)
+        assert base.same_bank(last)
+        assert base.row == last.row
+
+    @given(geom=geometries, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_group_ranges_partition(self, geom, data):
+        """Every byte belongs to exactly one subarray group's ranges."""
+        mapping = SkylakeMapping.for_small_geometry(geom)
+        hpa = data.draw(st.integers(0, geom.socket_bytes - 1))
+        socket, group = mapping.subarray_group_of_hpa(hpa)
+        owners = [
+            g
+            for g in range(geom.groups_per_socket)
+            if any(hpa in r for r in mapping.subarray_group_ranges(socket, g))
+        ]
+        assert owners == [group]
+
+    @given(geom=geometries, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_row_group_spans_all_banks(self, geom, data):
+        mapping = SkylakeMapping.for_small_geometry(geom)
+        row = data.draw(st.integers(0, geom.rows_per_bank - 1))
+        (r,) = mapping.row_group_ranges(0, row)
+        banks = {
+            mapping.decode(a).socket_bank_index(geom)
+            for a in range(r.start, r.end, CACHE_LINE)
+        }
+        assert banks == set(range(geom.banks_per_socket))
+
+
+class TestEptProperties:
+    @given(
+        pages=st.lists(
+            st.integers(0, 255), min_size=1, max_size=24, unique=True
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_map_translate_consistent(self, pages):
+        """Any set of 4 KiB mappings translates back exactly, and
+        unmapped neighbours still fault."""
+        from repro.dram.module import SimulatedDram
+        from repro.errors import EptViolation
+        from repro.units import PAGE_4K
+
+        geom = DRAMGeometry.small(rows_per_bank=512, rows_per_subarray=64)
+        dram = SimulatedDram(geom, trr_config=None)
+        next_page = iter(range(0, 4 * 2**20, PAGE_4K))
+        from repro.ept.table import ExtendedPageTable
+
+        ept = ExtendedPageTable(dram, lambda: next(next_page))
+        base = 8 * 2**20
+        for page in pages:
+            ept.map(page * PAGE_4K, base + page * PAGE_4K, PAGE_4K)
+        for page in pages:
+            gpa = page * PAGE_4K
+            assert ept.translate(gpa) == base + gpa
+        missing = next(i for i in range(300) if i not in pages)
+        with pytest.raises(EptViolation):
+            ept.translate(missing * PAGE_4K)

@@ -1,0 +1,154 @@
+"""Tests for §6 remediation: inter-subarray repairs and scrambling
+boundaries are offlined, restoring containment."""
+
+import pytest
+
+from repro.attack.hammer import hammer_pattern_rows
+from repro.core import SilozHypervisor
+from repro.core.remediation import (
+    apply_remediation,
+    plan_remediation,
+    remediation_ranges,
+    scrambling_boundary_rows,
+)
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.transforms import RepairMap, TransformConfig
+from repro.hv import Machine, VmSpec
+from repro.mm.offline import OfflineReason
+from repro.units import MiB
+
+
+def repair_fixture(machine, defective=70, spare=130):
+    """An inter-subarray repair on (socket 0, bank 0): row 70 (subarray
+    1) repaired to a spare in subarray 2."""
+    repair = RepairMap(machine.geom)
+    repair.add(defective, spare)
+    machine.dram.add_repair(0, 0, defective, spare)
+    return {(0, 0): repair}
+
+
+class TestScramblingBoundaryRows:
+    def test_multiple_of_8_is_clean(self):
+        geom = DRAMGeometry.small(rows_per_bank=512, rows_per_subarray=64)
+        assert scrambling_boundary_rows(geom) == []
+
+    def test_non_multiple_of_8_blocks(self):
+        geom = DRAMGeometry.small(rows_per_bank=96, rows_per_subarray=12)
+        rows = scrambling_boundary_rows(geom)
+        assert rows
+        # Each boundary (12, 24, ...) contributes its aligned 8-block.
+        assert set(range(8, 16)) <= set(rows)  # boundary 12 -> block [8,16)
+        assert all(0 <= r < 96 for r in rows)
+
+    def test_fraction_matches_paper_formula(self):
+        geom = DRAMGeometry.small(rows_per_bank=96, rows_per_subarray=12)
+        rows = scrambling_boundary_rows(geom)
+        # ~8 rows per subarray boundary; 7 interior boundaries in 96 rows.
+        assert len(rows) == pytest.approx(7 * 8, abs=8)
+
+
+class TestPlan:
+    def test_repair_plan(self):
+        machine = Machine.small(seed=95)
+        repairs = repair_fixture(machine)
+        plan = plan_remediation(machine.geom, repairs=repairs)
+        assert [(i.socket, i.row) for i in plan] == [(0, 70)]
+        assert plan[0].reason is OfflineReason.INTER_SUBARRAY_REPAIR
+
+    def test_intra_subarray_repair_needs_nothing(self):
+        machine = Machine.small(seed=95)
+        repair = RepairMap(machine.geom)
+        repair.add(70, 75)  # same subarray
+        assert plan_remediation(machine.geom, repairs={(0, 0): repair}) == []
+
+    def test_scrambling_plan_only_when_scrambling(self):
+        geom = DRAMGeometry.small(rows_per_bank=96, rows_per_subarray=12)
+        none = plan_remediation(geom, transforms=TransformConfig(scrambling=False))
+        some = plan_remediation(geom, transforms=TransformConfig(scrambling=True))
+        assert none == []
+        assert some and all(
+            i.reason is OfflineReason.SCRAMBLING_BOUNDARY for i in some
+        )
+
+    def test_ranges_are_row_groups(self):
+        machine = Machine.small(seed=95)
+        repairs = repair_fixture(machine)
+        plan = plan_remediation(machine.geom, repairs=repairs)
+        ranges = remediation_ranges(machine.mapping, plan)
+        assert len(ranges) == 1
+        (r, reason, socket) = ranges[0]
+        assert r.size == machine.geom.row_group_bytes
+        assert socket == 0
+
+
+class TestBootIntegration:
+    def test_repaired_row_group_offlined(self):
+        machine = Machine.small(seed=96)
+        repairs = repair_fixture(machine)
+        hv = SilozHypervisor.boot(machine, repairs=repairs)
+        assert (
+            hv.offline.total_bytes(OfflineReason.INTER_SUBARRAY_REPAIR)
+            == machine.geom.row_group_bytes
+        )
+        # No VM can ever be backed by the repaired row.
+        (row_range, _, _) = remediation_ranges(
+            machine.mapping, plan_remediation(machine.geom, repairs=repairs)
+        )[0]
+        for i in range(6):
+            vm = hv.create_vm(VmSpec(name=f"vm{i}", memory_bytes=2 * MiB))
+            for r in vm.backing:
+                assert not r.overlaps(row_range)
+
+    def test_containment_restored_with_remediation(self):
+        """Without remediation an attacker owning the repaired row flips
+        bits in another subarray (test_module shows this); with
+        remediation, the row is unallocatable, so the whole campaign is
+        contained again."""
+        machine = Machine.small(seed=97)
+        repairs = repair_fixture(machine)
+        hv = SilozHypervisor.boot(machine, repairs=repairs)
+        # Fill guest node holding subarray 1 (the repaired row's group).
+        vm = hv.create_vm(VmSpec(name="a", memory_bytes=2 * MiB))
+        from repro.attack import attack_from_vm
+
+        outcome = attack_from_vm(hv, vm, seed=97, pattern_budget=30)
+        assert outcome.report.flip_count > 0
+        assert outcome.contained
+
+    def test_unremediated_repair_breaks_containment(self):
+        """Control: the same repair without remediation lets hammering
+        the defective media row flip bits in the spare's subarray."""
+        machine = Machine.small(seed=97)
+        repair_fixture(machine)  # repair applied to DRAM, NOT to Siloz
+        hv = SilozHypervisor.boot(machine)
+        geom = machine.geom
+        # Hammer the repaired media row (cells live in subarray 2).
+        hammer_pattern_rows(machine.dram, 0, 0, [70], rounds=8000)
+        flipped = {geom.subarray_of_row(f.row) for f in machine.dram.flips_log}
+        assert 2 in flipped  # escaped into the spare's subarray
+
+    def test_scrambling_boot_remediation(self):
+        geom = DRAMGeometry.small(rows_per_bank=96, rows_per_subarray=12)
+        from repro.dram.mapping import SkylakeMapping
+        from repro.dram.module import SimulatedDram
+
+        mapping = SkylakeMapping.for_small_geometry(geom)
+        machine = Machine(
+            geom=geom,
+            mapping=mapping,
+            dram=SimulatedDram(geom, mapping),
+            cores_per_socket=2,
+        )
+        # 12-row subarrays cannot host a guard block; such a DIMM would
+        # pair scrambling remediation with secure EPT.
+        from repro.core import EptProtection, SilozConfig
+
+        config = SilozConfig.scaled_for(
+            geom, ept_protection=EptProtection.SECURE_EPT
+        )
+        hv = SilozHypervisor.boot(
+            machine,
+            config,
+            dimm_transforms=TransformConfig(scrambling=True),
+        )
+        assert hv.offline.total_bytes(OfflineReason.SCRAMBLING_BOUNDARY) > 0

@@ -1,0 +1,155 @@
+"""Tests for refresh/retention modeling and §8.1 fragmentation math."""
+
+import pytest
+
+from repro.core.fragmentation import (
+    TYPICAL_VM_MIX,
+    StrandingReport,
+    groups_for,
+    provider_aligned_mix,
+    stranding_report,
+    sweep_group_sizes,
+)
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.retention import (
+    MAX_POSTPONED,
+    REFS_PER_WINDOW,
+    TREFI_S,
+    RefreshScheduler,
+    RetentionModel,
+)
+from repro.errors import DramError, ReproError
+from repro.units import GiB, MS, MiB
+
+GEOM = DRAMGeometry.paper_default()
+
+
+class TestRefreshScheduler:
+    def test_nominal_window_is_64ms(self):
+        sched = RefreshScheduler(GEOM)
+        assert sched.window_seconds() == pytest.approx(64 * MS, rel=0.01)
+
+    def test_refs_issued_at_trefi_rate(self):
+        sched = RefreshScheduler(GEOM)
+        slices = sched.advance(100 * TREFI_S)
+        assert len(slices) == 100
+        assert sched.refs_issued == 100
+
+    def test_slices_cover_distinct_rows(self):
+        sched = RefreshScheduler(GEOM)
+        slices = sched.advance(10 * TREFI_S)
+        starts = [s.start for s in slices]
+        assert len(set(starts)) == len(starts)
+
+    def test_all_rows_covered_in_one_window(self):
+        sched = RefreshScheduler(GEOM)
+        covered = set()
+        # +2 tREFI of slack absorbs float accumulation at the boundary.
+        for s in sched.advance((REFS_PER_WINDOW + 2) * TREFI_S):
+            covered.update(s)
+        assert covered == set(range(GEOM.rows_per_bank))
+
+    def test_postponement_stretches_window(self):
+        eager = RefreshScheduler(GEOM)
+        lazy = RefreshScheduler(GEOM, postpone_budget=MAX_POSTPONED)
+        assert lazy.window_seconds() > eager.window_seconds()
+
+    def test_postponed_refs_eventually_issued(self):
+        sched = RefreshScheduler(GEOM, postpone_budget=4)
+        slices = sched.advance(100 * TREFI_S)
+        # 4 deferred at the start, then catch-up: still ~100 total - 4.
+        assert len(slices) >= 92
+        assert sched.postponed <= 4
+
+    def test_budget_validated(self):
+        with pytest.raises(DramError):
+            RefreshScheduler(GEOM, postpone_budget=MAX_POSTPONED + 1)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(DramError):
+            RefreshScheduler(GEOM).advance(-1.0)
+
+
+class TestRetentionModel:
+    def test_no_failures_at_nominal_window(self):
+        model = RetentionModel(GEOM, seed=1)
+        # Weak cells are drawn with retention >= 0.8 * 64 ms.
+        assert model.failure_rate(50 * MS) == 0.0
+
+    def test_failures_grow_with_gap(self):
+        model = RetentionModel(GEOM, seed=1)
+        f1 = model.failure_rate(64 * MS)
+        f2 = model.failure_rate(128 * MS)
+        f3 = model.failure_rate(300 * MS)
+        assert f1 <= f2 <= f3
+        assert f3 > 0.0
+
+    def test_postponement_interaction(self):
+        """Stretched windows (postponed REFs) expose weak cells — the
+        §2.3 reason thresholds are per-window quantities."""
+        model = RetentionModel(GEOM, seed=2)
+        eager = RefreshScheduler(GEOM)
+        lazy = RefreshScheduler(GEOM, postpone_budget=MAX_POSTPONED)
+        assert len(model.failures(lazy.window_seconds())) >= len(
+            model.failures(eager.window_seconds())
+        )
+
+    def test_deterministic(self):
+        a = RetentionModel(GEOM, seed=3).cells
+        b = RetentionModel(GEOM, seed=3).cells
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(DramError):
+            RetentionModel(GEOM, weak_ppm=-1)
+        with pytest.raises(DramError):
+            RetentionModel(GEOM).failures(-1)
+
+
+class TestFragmentation:
+    GROUP = 1536 * MiB  # the paper's 1.5 GiB group
+
+    def test_groups_for(self):
+        assert groups_for(512 * MiB, self.GROUP) == 1
+        assert groups_for(self.GROUP, self.GROUP) == 1
+        assert groups_for(self.GROUP + 1, self.GROUP) == 2
+        assert groups_for(160 * GiB, self.GROUP) == 107
+
+    def test_paper_example_512mib_vm(self):
+        """§8.1: a 512 MiB VM on a 1.5 GiB group strands 1 GiB."""
+        report = stranding_report([512 * MiB], self.GROUP)
+        assert report.stranded_bytes == 1 * GiB
+        assert report.stranded_fraction == pytest.approx(2 / 3)
+
+    def test_typical_mix_stranding_moderate(self):
+        report = stranding_report(list(TYPICAL_VM_MIX), self.GROUP)
+        assert 0.0 < report.stranded_fraction < 0.10
+
+    def test_snc_halves_worst_case(self):
+        """§8.1: SNC-style half-size groups reduce stranding."""
+        full = stranding_report(list(TYPICAL_VM_MIX), self.GROUP)
+        snc = stranding_report(list(TYPICAL_VM_MIX), self.GROUP // 2)
+        assert snc.stranded_bytes < full.stranded_bytes
+
+    def test_sweep_monotone_for_micro_vms(self):
+        micro = [512 * MiB] * 8
+        reports = sweep_group_sizes(micro, [self.GROUP // 2, self.GROUP, 2 * self.GROUP])
+        stranded = [r.stranded_bytes for r in reports]
+        assert stranded == sorted(stranded)
+
+    def test_provider_aligned_mix_strands_nothing(self):
+        """§8.1: providers already sell sizes at group granularity."""
+        mix = provider_aligned_mix(self.GROUP)
+        assert stranding_report(mix, self.GROUP).stranded_bytes == 0
+
+    def test_report_str(self):
+        text = str(stranding_report([512 * MiB], self.GROUP))
+        assert "stranded" in text and "1.5 GiB" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            stranding_report([], self.GROUP)
+        with pytest.raises(ReproError):
+            groups_for(0, self.GROUP)
+        with pytest.raises(ReproError):
+            provider_aligned_mix(self.GROUP, count=0)

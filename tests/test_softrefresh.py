@@ -1,0 +1,82 @@
+"""Unit tests for the §8.3 software-refresh study."""
+
+import pytest
+
+from repro.core.softrefresh import (
+    JitterProfile,
+    RefreshLog,
+    RefreshScheme,
+    compare_schemes,
+    simulate_refresh,
+)
+from repro.errors import ReproError
+
+
+class TestSimulation:
+    def test_timer_task_min_interval_is_1ms(self):
+        """§8.3: 'we observed a minimum of 1 ms between software
+        refreshes due to Linux scheduling semantics'."""
+        log = simulate_refresh(RefreshScheme.TIMER_TASK, duration_s=20.0, seed=1)
+        assert log.min_interval_ms >= 1.0
+
+    def test_timer_task_observes_32ms_gaps(self):
+        """§8.3: 'even observing a period greater than 32 ms'."""
+        log = simulate_refresh(RefreshScheme.TIMER_TASK, duration_s=60.0, seed=1)
+        assert log.max_interval_ms > 32.0
+
+    def test_timer_task_misses_deadlines(self):
+        log = simulate_refresh(RefreshScheme.TIMER_TASK, duration_s=10.0, seed=2)
+        assert log.missed_deadlines > 0
+        assert log.vulnerable
+
+    def test_tick_irq_still_misses(self):
+        """Running in the IRQ helps but ticks get delayed/dropped."""
+        log = simulate_refresh(RefreshScheme.TICK_IRQ, duration_s=60.0, seed=3)
+        assert log.missed_deadlines > 0
+        assert log.max_interval_ms > 2.0
+
+    def test_tick_irq_tighter_than_task(self):
+        task = simulate_refresh(RefreshScheme.TIMER_TASK, duration_s=30.0, seed=4)
+        irq = simulate_refresh(RefreshScheme.TICK_IRQ, duration_s=30.0, seed=4)
+        assert irq.miss_rate < task.miss_rate
+
+    def test_guard_rows_never_vulnerable(self):
+        log = simulate_refresh(RefreshScheme.GUARD_ROWS, duration_s=60.0)
+        assert not log.vulnerable
+        assert log.refreshes == 0
+
+    def test_deterministic(self):
+        a = simulate_refresh(RefreshScheme.TIMER_TASK, duration_s=5.0, seed=7)
+        b = simulate_refresh(RefreshScheme.TIMER_TASK, duration_s=5.0, seed=7)
+        assert a.intervals_ms == b.intervals_ms
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ReproError):
+            simulate_refresh(RefreshScheme.TIMER_TASK, duration_s=0)
+        with pytest.raises(ReproError):
+            simulate_refresh(RefreshScheme.TIMER_TASK, deadline_ms=0)
+
+
+class TestCompare:
+    def test_all_schemes_present(self):
+        results = compare_schemes(duration_s=5.0, seed=5)
+        assert set(results) == set(RefreshScheme)
+
+    def test_only_guard_rows_safe(self):
+        results = compare_schemes(duration_s=60.0, seed=6)
+        assert not results[RefreshScheme.GUARD_ROWS].vulnerable
+        assert results[RefreshScheme.TIMER_TASK].vulnerable
+        assert results[RefreshScheme.TICK_IRQ].vulnerable
+
+
+class TestLogProperties:
+    def test_empty_log(self):
+        log = RefreshLog(scheme=RefreshScheme.GUARD_ROWS, deadline_ms=1.0)
+        assert log.miss_rate == 0.0
+        assert log.max_interval_ms == 0.0
+        assert log.min_interval_ms == 0.0
+
+    def test_profiles_distinct(self):
+        task = JitterProfile.task_scheduling()
+        irq = JitterProfile.tick_irq()
+        assert task.base_jitter_ms > irq.base_jitter_ms

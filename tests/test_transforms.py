@@ -1,0 +1,227 @@
+"""Unit tests for repro.dram.transforms (paper §6, Table 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.transforms import (
+    ARTIFICIAL_GUARD_ROWS,
+    INVERT_BITS,
+    MIRROR_PAIRS,
+    RepairMap,
+    Side,
+    TransformConfig,
+    artificial_group_reservation,
+    invert_row,
+    mirror_row,
+    scramble_row,
+    scrambling_offline_fraction,
+    subarray_isolation_preserved,
+    transform_table,
+    zebram_overhead,
+)
+from repro.errors import DramError
+
+rows = st.integers(min_value=0, max_value=2047)
+
+
+class TestMirroring:
+    def test_even_rank_unchanged(self):
+        assert mirror_row(0b10101010, rank=0) == 0b10101010
+
+    def test_paper_example(self):
+        # §6: 0b10000 (b4=1, b3=0) becomes 0b01000 on odd ranks.
+        assert mirror_row(0b10000, rank=1) == 0b01000
+
+    def test_swaps_all_three_pairs(self):
+        # Set the low bit of each pair; mirroring moves it to the high bit.
+        value = (1 << 3) | (1 << 5) | (1 << 7)
+        expected = (1 << 4) | (1 << 6) | (1 << 8)
+        assert mirror_row(value, rank=1) == expected
+
+    @given(rows)
+    def test_involution_on_odd_rank(self, row):
+        assert mirror_row(mirror_row(row, 1), 1) == row
+
+    @given(rows)
+    def test_preserves_bits_outside_pairs(self, row):
+        mirrored = mirror_row(row, 1)
+        mask = sum((1 << i) | (1 << j) for i, j in MIRROR_PAIRS)
+        assert (mirrored & ~mask) == (row & ~mask)
+
+
+class TestInversion:
+    def test_a_side_unchanged(self):
+        assert invert_row(0b111, Side.A) == 0b111
+
+    def test_b_side_inverts_configured_bits(self):
+        assert invert_row(0, Side.B) == sum(1 << b for b in INVERT_BITS)
+
+    @given(rows)
+    def test_involution(self, row):
+        assert invert_row(invert_row(row, Side.B), Side.B) == row
+
+    @given(rows)
+    def test_low_bits_unchanged(self, row):
+        assert invert_row(row, Side.B) & 0b111 == row & 0b111
+
+
+class TestScrambling:
+    @given(rows)
+    def test_involution(self, row):
+        assert scramble_row(scramble_row(row)) == row
+
+    @given(rows)
+    def test_stays_within_8_row_block(self, row):
+        # §6: scrambling reorders rows within an aligned 8-row block.
+        assert scramble_row(row) // 8 == row // 8
+
+    def test_identity_when_b3_clear(self):
+        assert scramble_row(0b0101) == 0b0101
+
+    def test_xors_b1_b2_when_b3_set(self):
+        assert scramble_row(0b1000) == 0b1110
+
+
+class TestTransformConfig:
+    def test_ddr5_disables_mirroring_and_inversion(self):
+        cfg = TransformConfig(ddr5=True)
+        assert cfg.internal_row(0b10000, rank=1, side=Side.B) == 0b10000
+
+    def test_ddr5_keeps_scrambling(self):
+        cfg = TransformConfig(ddr5=True, scrambling=True)
+        assert cfg.internal_row(0b1000, rank=0, side=Side.A) == 0b1110
+
+    def test_rejects_negative_row(self):
+        with pytest.raises(DramError):
+            TransformConfig().internal_row(-1, 0, Side.A)
+
+    @given(rows, st.integers(0, 1), st.sampled_from(list(Side)))
+    def test_internal_row_is_bijective_per_context(self, row, rank, side):
+        cfg = TransformConfig(scrambling=True)
+        image = cfg.internal_row(row, rank, side)
+        # Injectivity over a window: no other row in the same 2048-row
+        # span maps to the same image under the same (rank, side).
+        assert 0 <= image < 4096
+
+
+class TestTable1:
+    def test_shape(self):
+        table = transform_table()
+        assert len(table) == 4
+        assert all(f"b{i}" in row for row in table for i in range(11))
+
+    def test_even_rank_a_side_identity(self):
+        row = transform_table()[0]
+        assert row["rank"] == "even" and row["side"] == "A"
+        assert all(row[f"b{i}"] == f"b{i}" for i in range(11))
+
+    def test_odd_rank_mirrors(self):
+        odd_a = next(
+            r for r in transform_table() if r["rank"] == "odd" and r["side"] == "A"
+        )
+        assert odd_a["b3"] == "b4" and odd_a["b4"] == "b3"
+        assert odd_a["b7"] == "b8" and odd_a["b8"] == "b7"
+
+    def test_b_side_inverts(self):
+        even_b = next(
+            r for r in transform_table() if r["rank"] == "even" and r["side"] == "B"
+        )
+        assert even_b["b3"] == "!b3"
+        assert even_b["b0"] == "b0"
+
+    def test_odd_b_combines_both(self):
+        odd_b = next(
+            r for r in transform_table() if r["rank"] == "odd" and r["side"] == "B"
+        )
+        assert odd_b["b3"] == "!b4"
+
+
+class TestIsolationPreservation:
+    """§6: power-of-2 subarray sizes in [512, 2048] are unaffected."""
+
+    @pytest.mark.parametrize("size", [512, 1024, 2048])
+    def test_power_of_two_sizes_safe(self, size):
+        assert subarray_isolation_preserved(size, TransformConfig())
+
+    @pytest.mark.parametrize("size", [768, 1536, 640])
+    def test_non_power_of_two_sizes_broken(self, size):
+        assert not subarray_isolation_preserved(size, TransformConfig())
+
+    def test_ddr5_makes_any_size_safe_without_scrambling(self):
+        # §8.2: DDR5 undoes mirroring/inversion at each device.
+        assert subarray_isolation_preserved(768, TransformConfig(ddr5=True))
+
+    def test_scrambling_safe_for_multiple_of_8(self):
+        cfg = TransformConfig(mirroring=False, inversion=False, scrambling=True)
+        assert subarray_isolation_preserved(24, cfg)
+
+    def test_scrambling_breaks_non_multiple_of_8(self):
+        cfg = TransformConfig(mirroring=False, inversion=False, scrambling=True)
+        assert not subarray_isolation_preserved(12, cfg)
+
+    def test_small_test_geometry_sizes_safe(self):
+        # The 8-row subarrays used by the test geometry keep isolation.
+        assert subarray_isolation_preserved(8, TransformConfig())
+
+
+class TestOverheadArithmetic:
+    """The paper's §3/§6 percentages."""
+
+    def test_scrambling_fraction_512(self):
+        assert scrambling_offline_fraction(513) == pytest.approx(8 / 513)
+
+    def test_scrambling_zero_for_multiple_of_8(self):
+        assert scrambling_offline_fraction(1024) == 0.0
+
+    def test_artificial_group_512(self):
+        reserved, frac = artificial_group_reservation(512)
+        assert reserved == 2 * ARTIFICIAL_GUARD_ROWS
+        assert frac == pytest.approx(0.015625)  # ~1.56 %
+
+    def test_artificial_group_2048(self):
+        _, frac = artificial_group_reservation(2048)
+        assert frac == pytest.approx(0.00390625)  # ~0.39 %
+
+    def test_artificial_group_rounds_up(self):
+        reserved, frac = artificial_group_reservation(600)
+        assert frac == pytest.approx(reserved / 1024)
+
+    def test_zebram_50_percent_at_1_guard(self):
+        assert zebram_overhead(1) == pytest.approx(0.50)
+
+    def test_zebram_80_percent_at_4_guards(self):
+        assert zebram_overhead(4) == pytest.approx(0.80)
+
+    def test_zebram_rejects_negative(self):
+        with pytest.raises(DramError):
+            zebram_overhead(-1)
+
+
+class TestRepairMap:
+    def setup_method(self):
+        self.geom = DRAMGeometry.small()
+        self.repairs = RepairMap(self.geom)
+
+    def test_resolve_identity_by_default(self):
+        assert self.repairs.resolve(5) == 5
+
+    def test_intra_subarray_repair_is_benign(self):
+        self.repairs.add(2, 6)  # both in subarray 0
+        assert self.repairs.inter_subarray_repairs() == []
+        assert self.repairs.rows_to_offline() == []
+
+    def test_inter_subarray_repair_flagged(self):
+        self.repairs.add(2, 9)  # subarray 0 -> subarray 1
+        assert self.repairs.inter_subarray_repairs() == [(2, 9)]
+        assert self.repairs.rows_to_offline() == [2]
+
+    def test_duplicate_repair_rejected(self):
+        self.repairs.add(2, 9)
+        with pytest.raises(DramError):
+            self.repairs.add(2, 10)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(Exception):
+            self.repairs.add(0, self.geom.rows_per_bank)

@@ -1,0 +1,157 @@
+"""Unit tests for the TRR sampler and ECC models (§2.5)."""
+
+import random
+
+import pytest
+
+from repro.dram.ecc import (
+    EccEngine,
+    EccOutcome,
+    classify_word,
+)
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.trr import Trr, TrrConfig, TrrSampler
+from repro.errors import DramError
+
+GEOM = DRAMGeometry.small()
+
+
+class TestTrrSampler:
+    def test_observes_first_acts_after_ref(self):
+        sampler = TrrSampler(TrrConfig(sampled_acts_after_ref=2, sample_prob=0.0), random.Random(0))
+        sampler.observe_maybe(5)
+        sampler.observe_maybe(5)
+        sampler.observe_maybe(9)  # beyond the sampled window, ignored
+        assert sampler.take_targets() == [5]
+
+    def test_take_targets_resets_window(self):
+        sampler = TrrSampler(TrrConfig(sampled_acts_after_ref=1, sample_prob=0.0), random.Random(0))
+        sampler.observe_maybe(5)
+        sampler.take_targets()
+        sampler.observe_maybe(7)  # first after REF again: observed
+        assert sampler.take_targets() == [7]
+
+    def test_misra_gries_eviction_keeps_heavy_hitters(self):
+        cfg = TrrConfig(slots=2, sampled_acts_after_ref=10**9, sample_prob=0.0)
+        sampler = TrrSampler(cfg, random.Random(0))
+        for _ in range(10):
+            sampler.observe_maybe(1)
+        sampler.observe_maybe(2)
+        sampler.observe_maybe(3)  # decrements, evicts 2, row 1 survives
+        targets = sampler.take_targets()
+        assert 1 in targets
+
+    def test_empty_sampler_has_no_targets(self):
+        sampler = TrrSampler(TrrConfig(), random.Random(0))
+        assert sampler.take_targets() == []
+
+
+class TestTrr:
+    def test_ref_refreshes_neighbors_of_sampled_rows(self):
+        trr = Trr(GEOM, TrrConfig(sampled_acts_after_ref=4, sample_prob=0.0, neighbor_distance=1))
+        trr.on_activate(0, 0, 10)
+        victims = trr.on_ref(0, 0)
+        assert victims == [9, 11]
+
+    def test_neighbor_refresh_clipped_to_bank(self):
+        trr = Trr(GEOM, TrrConfig(sampled_acts_after_ref=4, sample_prob=0.0, neighbor_distance=2))
+        trr.on_activate(0, 0, 0)
+        victims = trr.on_ref(0, 0)
+        assert victims == [1, 2]
+
+    def test_banks_have_independent_samplers(self):
+        trr = Trr(GEOM, TrrConfig(sampled_acts_after_ref=4, sample_prob=0.0))
+        trr.on_activate(0, 0, 10)
+        assert trr.on_ref(0, 1) == []
+
+    def test_uniform_hammer_gets_caught(self):
+        """A naive double-sided hammer keeps getting sampled (it ACTs
+        right after every REF), so TRR protects the victim."""
+        trr = Trr(GEOM, TrrConfig(slots=4, sampled_acts_after_ref=2, sample_prob=0.0))
+        caught = 0
+        for _ in range(50):
+            for _ in range(16):
+                trr.on_activate(0, 0, 2)
+                trr.on_activate(0, 0, 4)
+            victims = trr.on_ref(0, 0)
+            if 3 in victims:
+                caught += 1
+        assert caught >= 45  # caught essentially every window
+
+    def test_decoy_pattern_evades_sampler(self):
+        """Blacksmith-style evasion: put decoy ACTs in the sampled slots
+        right after REF, hammer the real aggressors in the blind spot."""
+        trr = Trr(
+            GEOM,
+            TrrConfig(slots=2, sampled_acts_after_ref=2, sample_prob=0.0),
+        )
+        protected = 0
+        for _ in range(50):
+            trr.on_activate(0, 0, 30)  # decoys occupy the sampled slots
+            trr.on_activate(0, 0, 32)
+            for _ in range(16):
+                trr.on_activate(0, 0, 2)
+                trr.on_activate(0, 0, 4)
+            victims = trr.on_ref(0, 0)
+            if 3 in victims:
+                protected += 1
+        assert protected == 0  # the true victim is never refreshed
+
+    def test_refresh_counter(self):
+        trr = Trr(GEOM, TrrConfig(sampled_acts_after_ref=4, sample_prob=0.0, neighbor_distance=1))
+        trr.on_activate(0, 0, 10)
+        trr.on_ref(0, 0)
+        assert trr.neighbor_refreshes == 2
+
+
+class TestEccClassification:
+    def test_clean(self):
+        assert classify_word(0) is EccOutcome.CLEAN
+
+    def test_corrected(self):
+        assert classify_word(1) is EccOutcome.CORRECTED
+
+    def test_uncorrectable(self):
+        assert classify_word(2) is EccOutcome.UNCORRECTABLE
+
+    def test_silent(self):
+        assert classify_word(3) is EccOutcome.SILENT
+        assert classify_word(7) is EccOutcome.SILENT
+
+    def test_negative_rejected(self):
+        with pytest.raises(DramError):
+            classify_word(-1)
+
+
+class TestEccEngine:
+    def setup_method(self):
+        self.ecc = EccEngine()
+
+    def test_single_bit_per_word_corrected(self):
+        events = self.ecc.check_row_bits(0, 0, 5, {3, 64}, when=0.0)
+        assert [e.outcome for e in events] == [
+            EccOutcome.CORRECTED,
+            EccOutcome.CORRECTED,
+        ]
+        assert self.ecc.stats.corrected == 2
+
+    def test_double_bit_same_word_uncorrectable(self):
+        events = self.ecc.check_row_bits(0, 0, 5, {3, 9}, when=0.0)
+        assert events[0].outcome is EccOutcome.UNCORRECTABLE
+        assert self.ecc.stats.uncorrectable == 1
+
+    def test_triple_bit_silent(self):
+        events = self.ecc.check_row_bits(0, 0, 5, {1, 2, 3}, when=0.0)
+        assert events[0].outcome is EccOutcome.SILENT
+
+    def test_word_boundaries(self):
+        # Bits 63 and 64 are in different words: both correctable.
+        events = self.ecc.check_row_bits(0, 0, 5, {63, 64}, when=0.0)
+        assert all(e.outcome is EccOutcome.CORRECTED for e in events)
+
+    def test_correctable_bits_excludes_multibit_words(self):
+        healable = self.ecc.correctable_bits({3, 9, 128})
+        assert healable == {128}
+
+    def test_empty_flips_no_events(self):
+        assert self.ecc.check_row_bits(0, 0, 5, set(), when=0.0) == []

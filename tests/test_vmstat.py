@@ -1,0 +1,71 @@
+"""Tests for the §5.3 vmstat update-skipping optimisation."""
+
+import pytest
+
+from repro.core import SilozHypervisor
+from repro.errors import MmError
+from repro.hv import Machine, VmSpec
+from repro.mm.vmstat import VmStatReporter
+from repro.units import MiB
+
+
+@pytest.fixture
+def hv():
+    return SilozHypervisor.boot(Machine.small(seed=41))
+
+
+class TestReporter:
+    def test_refresh_scans_all_dynamic_nodes(self, hv):
+        hv.vmstat.refresh()
+        assert hv.vmstat.nodes_scanned == len(hv.topology)
+
+    def test_static_nodes_skipped(self, hv):
+        node = hv.topology.nodes[2].node_id
+        hv.vmstat.mark_static(node)
+        hv.vmstat.refresh()
+        assert hv.vmstat.nodes_scanned == len(hv.topology) - 1
+
+    def test_static_stat_still_readable(self, hv):
+        node = hv.topology.nodes[2]
+        hv.vmstat.mark_static(node.node_id)
+        stat = hv.vmstat.stat(node.node_id)
+        assert stat.free_bytes == node.free_bytes
+
+    def test_unknown_node_rejected(self, hv):
+        with pytest.raises(MmError):
+            hv.vmstat.mark_static(999)
+
+    def test_dynamic_again_rescans(self, hv):
+        node = hv.topology.nodes[2].node_id
+        hv.vmstat.mark_static(node)
+        hv.vmstat.mark_dynamic(node)
+        hv.vmstat.refresh()
+        assert hv.vmstat.nodes_scanned == len(hv.topology)
+
+
+class TestSilozIntegration:
+    def test_vm_boot_freezes_its_nodes(self, hv):
+        vm = hv.create_vm(VmSpec(name="a", memory_bytes=2 * MiB))
+        assert set(vm.node_ids) <= hv.vmstat.static_nodes
+        before = hv.vmstat.nodes_scanned
+        hv.vmstat.refresh()
+        scanned = hv.vmstat.nodes_scanned - before
+        assert scanned == len(hv.topology) - len(vm.node_ids)
+
+    def test_frozen_stats_are_accurate(self, hv):
+        """The optimisation is sound: a booted guest node's stats really
+        don't change while the VM runs."""
+        vm = hv.create_vm(VmSpec(name="a", memory_bytes=2 * MiB))
+        node_id = vm.node_ids[0]
+        cached = hv.vmstat.stat(node_id).free_bytes
+        vm.write(0x0, b"activity")  # guest activity allocates nothing
+        assert hv.topology.node(node_id).free_bytes == cached
+
+    def test_shutdown_unfreezes(self, hv):
+        vm = hv.create_vm(VmSpec(name="a", memory_bytes=2 * MiB))
+        hv.destroy_vm("a")
+        assert not (set(vm.node_ids) & hv.vmstat.static_nodes)
+        hv.vmstat.refresh()
+        # The fresh scan sees the freed memory.
+        node = hv.topology.node(vm.node_ids[0])
+        assert hv.vmstat.stat(node.node_id).free_bytes == node.free_bytes
