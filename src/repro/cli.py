@@ -6,12 +6,14 @@ Gives operators the paper's experiments without writing code:
 - ``attack`` — a containment campaign on Siloz or the baseline,
 - ``perf`` — regenerate Figure 4/5/6/7 data at chosen fidelity,
 - ``overheads`` — the §3/§5.4/§6 reservation arithmetic,
+- ``health`` — the CE-storm fault-injection + live-offlining scenario,
 - ``softrefresh`` — the §8.3 deadline study.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
 from repro.units import MiB, fmt_bytes
@@ -127,6 +129,28 @@ def _cmd_overheads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlanError, run_ce_storm_scenario
+
+    try:
+        result = run_ce_storm_scenario(
+            seed=args.seed,
+            storm_errors=args.storm_errors,
+            interval=args.interval,
+        )
+    except FaultPlanError as exc:
+        print(f"repro health: invalid fault plan: {exc}", file=sys.stderr)
+        return 2
+    if args.transcript:
+        for line in result.transcript:
+            print(line)
+    else:
+        for line in result.transcript[-8:]:
+            print(line)
+    print(f"replay key: {result.replay_key()}")
+    return 0 if result.success else 1
+
+
 def _cmd_softrefresh(args: argparse.Namespace) -> int:
     from repro.core.softrefresh import RefreshScheme, compare_schemes
 
@@ -171,6 +195,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("overheads", help="reservation arithmetic (O1/O2)")
 
+    health = sub.add_parser(
+        "health", help="CE-storm fault-injection + live-offlining scenario"
+    )
+    health.add_argument(
+        "--storm-errors", type=int, default=20, help="correctable errors to inject"
+    )
+    health.add_argument(
+        "--interval", type=float, default=0.004, help="seconds between errors"
+    )
+    health.add_argument(
+        "--transcript", action="store_true", help="print the full run transcript"
+    )
+
     refresh = sub.add_parser("softrefresh", help="§8.3 deadline study")
     refresh.add_argument("--duration", type=float, default=30.0, help="seconds")
 
@@ -182,6 +219,7 @@ _HANDLERS = {
     "attack": _cmd_attack,
     "perf": _cmd_perf,
     "overheads": _cmd_overheads,
+    "health": _cmd_health,
     "softrefresh": _cmd_softrefresh,
 }
 

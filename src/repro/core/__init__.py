@@ -8,17 +8,28 @@
 - :mod:`repro.core.policy` — isolation audits (invariant checks the
   tests and security benches assert),
 - :mod:`repro.core.softrefresh` — the rejected software-refresh
-  alternative for EPT protection (§8.3).
+  alternative for EPT protection (§8.3),
+- :mod:`repro.core.remediation` — boot-time offlining of isolation-
+  violating rows (§6) and the runtime migrate-and-offline path the
+  health monitor drives.
 """
 
 from repro.core.config import EptProtection, SilozConfig
+from repro.core.remediation import (
+    MigrationPolicy,
+    MigrationReport,
+    offline_row_group_live,
+)
 from repro.core.siloz import SilozHypervisor
 from repro.core.policy import audit_hypervisor, flips_escaping_vm
 
 __all__ = [
     "EptProtection",
+    "MigrationPolicy",
+    "MigrationReport",
     "SilozConfig",
     "SilozHypervisor",
     "audit_hypervisor",
     "flips_escaping_vm",
+    "offline_row_group_live",
 ]

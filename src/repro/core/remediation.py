@@ -20,11 +20,12 @@ it during provisioning, before any allocations exist.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.dram.geometry import DRAMGeometry
 from repro.dram.mapping import AddressRange, SkylakeMapping
 from repro.dram.transforms import RepairMap, TransformConfig
+from repro.errors import MmError, OutOfMemoryError, UncorrectableError
 from repro.log import get_logger
 from repro.mm.offline import OfflineReason
 
@@ -103,6 +104,182 @@ def remediation_ranges(
         for r in mapping.row_group_ranges(item.socket, item.row):
             out.append((r, item.reason, item.socket))
     return out
+
+
+@dataclass(frozen=True)
+class MigrationPolicy:
+    """Knobs for the runtime migrate-and-offline path."""
+
+    #: Allocation attempts per block before deferring (each retry waits
+    #: ``backoff_s`` of simulated time, doubling, modelling reclaim).
+    max_retries: int = 3
+    backoff_s: float = 0.001
+    #: Whether an unmediated block may land on the VM's *other* logical
+    #: nodes when its home node is full.  Always restricted to the VM's
+    #: own reservation, so the isolation invariant holds either way.
+    allow_cross_node: bool = True
+
+
+@dataclass(frozen=True)
+class MigratedBlock:
+    """One backing block successfully moved (old frames retired)."""
+
+    vm: str
+    old: int
+    new: int
+    size: int
+
+
+@dataclass(frozen=True)
+class DeferredBlock:
+    """One backing block migration could not move (and why)."""
+
+    addr: int
+    size: int
+    why: str
+
+
+@dataclass
+class MigrationReport:
+    """Outcome of one runtime row-group offlining."""
+
+    socket: int
+    row: int
+    migrated: list[MigratedBlock] = field(default_factory=list)
+    deferred: list[DeferredBlock] = field(default_factory=list)
+    offlined_bytes: int = 0
+    already_offline: bool = False
+    violations: list = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when the row group is fully out of circulation (nothing
+        deferred) and migration introduced no isolation violations."""
+        return not self.deferred and not self.violations
+
+    def summary(self) -> str:
+        """One-line transcript form."""
+        state = "offlined" if self.complete else "deferred"
+        return (
+            f"row group (s{self.socket} r{self.row}) {state}: "
+            f"{len(self.migrated)} migrated, {len(self.deferred)} deferred, "
+            f"{self.offlined_bytes} bytes retired, "
+            f"{len(self.violations)} violation(s)"
+        )
+
+
+def _alloc_replacement(hv, vm, home_node, size: int, mediated: bool, policy: MigrationPolicy):
+    """Pick fresh frames for a migrating block, preserving placement:
+    unmediated blocks stay within the VM's own reserved nodes (same
+    subarray groups — the Siloz invariant), mediated blocks stay on
+    host-reserved nodes.  Returns the new address or None after all
+    retries."""
+    from repro.mm.numa import NodeKind
+
+    if mediated:
+        candidates = [
+            n.node_id for n in hv.topology.nodes_of_kind(NodeKind.HOST_RESERVED)
+        ]
+    else:
+        candidates = [home_node.node_id] + (
+            [nid for nid in vm.node_ids if nid != home_node.node_id]
+            if policy.allow_cross_node
+            else []
+        )
+    backoff = policy.backoff_s
+    for attempt in range(policy.max_retries + 1):
+        for nid in candidates:
+            try:
+                return hv.topology.node(nid).alloc_bytes(size)
+            except OutOfMemoryError:
+                continue
+        if attempt < policy.max_retries:
+            # Model waiting for reclaim: let simulated time pass, then
+            # retry (another tenant may have freed frames meanwhile).
+            hv.machine.dram.advance_time(backoff)
+            backoff *= 2
+    return None
+
+
+def offline_row_group_live(
+    hv,
+    socket: int,
+    row: int,
+    *,
+    reason: OfflineReason = OfflineReason.CE_STORM,
+    policy: MigrationPolicy | None = None,
+) -> MigrationReport:
+    """Runtime counterpart of :func:`apply_remediation`: take a row
+    group out of service *while VMs are running on it*.
+
+    Free pages are quarantined; still-allocated backing blocks are
+    copied to fresh frames inside the owning VM's own reservation (same
+    subarray groups — migration must not break the isolation the system
+    exists to provide), their EPT/IOMMU leaves are retargeted, and the
+    emptied frames are retired.  Blocks that cannot move — EPT table
+    pages, unknown owners, frames whose data machine-checks on read, or
+    no free frames after retries — leave the row group *deferred*: still
+    quarantined, re-attempted later via
+    :meth:`~repro.hv.health.HealthMonitor.retry_deferred`.
+
+    Always finishes with a full isolation audit; the findings ride on
+    the report and gate :attr:`MigrationReport.complete`.
+    """
+    from repro.core.policy import audit_hypervisor
+
+    policy = policy or MigrationPolicy()
+    dram = hv.machine.dram
+    report = MigrationReport(socket=socket, row=row)
+    for rg in hv.machine.mapping.row_group_ranges(socket, row):
+        if hv.offline.is_offline(rg.start) and hv.offline.is_offline(rg.end - 1):
+            report.already_offline = True
+            continue
+        try:
+            node = hv.topology.node_of_addr(rg.start)
+        except MmError:
+            continue  # not under any node (e.g. carved out at boot)
+        node.quarantine_range(rg)
+        deferred_here: list[DeferredBlock] = []
+        for addr, size in node.allocated_blocks_within(rg):
+            table_owner = hv.table_page_owner(addr)
+            if table_owner is not None:
+                deferred_here.append(
+                    DeferredBlock(addr, size, f"ept-table page of {table_owner!r}")
+                )
+                continue
+            owned = hv.vm_block_owner(addr)
+            if owned is None:
+                deferred_here.append(DeferredBlock(addr, size, "unknown owner"))
+                continue
+            vm, mediated = owned
+            new = _alloc_replacement(hv, vm, node, size, mediated, policy)
+            if new is None:
+                deferred_here.append(
+                    DeferredBlock(addr, size, "no replacement frames")
+                )
+                continue
+            try:
+                data = dram.read(addr, size)  # ECC heals CEs into the copy
+            except UncorrectableError as exc:
+                hv.topology.free_addr(new)
+                deferred_here.append(
+                    DeferredBlock(addr, size, f"uncorrectable data: {exc}")
+                )
+                continue
+            dram.write(new, data)
+            hv.relocate_block(vm, addr, size, new)
+            node.allocator.retire(addr)
+            report.migrated.append(MigratedBlock(vm.name, addr, new, size))
+        if deferred_here:
+            report.deferred.extend(deferred_here)
+            hv.offline.defer(
+                node.node_id, rg, reason, "; ".join(d.why for d in deferred_here)
+            )
+        else:
+            report.offlined_bytes += hv.offline.offline_retired(node, rg, reason)
+    report.violations = audit_hypervisor(hv)
+    _log.info("%s", report.summary())
+    return report
 
 
 def apply_remediation(hv, items: list[RemediationItem]) -> int:

@@ -77,10 +77,26 @@ def classify_word(flipped_bits: int) -> EccOutcome:
 
 
 class EccEngine:
-    """Counts flips per 64-bit word and classifies SEC-DED outcomes."""
+    """Counts flips per 64-bit word and classifies SEC-DED outcomes.
+
+    Listeners registered via :meth:`subscribe` receive every non-clean
+    :class:`EccEvent` as it is classified — the EDAC/mcelog firehose the
+    runtime health monitor (:mod:`repro.hv.health`) consumes."""
 
     def __init__(self) -> None:
         self.stats = EccStats()
+        self._listeners: list = []
+
+    def subscribe(self, listener) -> None:
+        """Register a callable invoked with each new :class:`EccEvent`
+        (corrected and uncorrectable alike) — the correctable-error
+        reporting channel a kernel gets from EDAC."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def check_row_bits(
         self,
@@ -111,6 +127,8 @@ class EccEngine:
             )
             self.stats.record(event)
             events.append(event)
+            for listener in self._listeners:
+                listener(event)
         return events
 
     def correctable_bits(self, flipped_bit_indexes: set[int]) -> set[int]:

@@ -49,6 +49,28 @@ class DramCounters:
     trr_refs: int = 0
 
 
+class DramHook:
+    """Observer interface for module-level events (fault injection).
+
+    Register an instance with :meth:`SimulatedDram.register_hook` to be
+    called on activations, clock advances, and writes.  The base class
+    implements every callback as a no-op so subclasses override only
+    what they need.  Hooks may mutate the module (e.g. plant bit errors
+    via :meth:`SimulatedDram.inject_bit_error`); they run synchronously
+    inside the triggering operation, so an injected fault is visible to
+    the access that tripped the hook.
+    """
+
+    def on_activate(self, dram: "SimulatedDram", socket: int, bank: int, row: int) -> None:
+        """One ACT was issued (clock already advanced)."""
+
+    def on_clock(self, dram: "SimulatedDram") -> None:
+        """Simulated time advanced without an access (idle time)."""
+
+    def on_write(self, dram: "SimulatedDram", hpa: int, length: int) -> None:
+        """Data was stored at [hpa, hpa+length) (stores already applied)."""
+
+
 class SimulatedDram:
     """A full server DRAM complement behind one mapping.
 
@@ -115,6 +137,39 @@ class SimulatedDram:
         self._repairs: dict[tuple[int, int], dict[int, int]] = {}
         self._spare_owner: dict[tuple[int, int], dict[int, int]] = {}
         self.flips_log: list[BitFlip] = []
+        self._hooks: list[DramHook] = []
+
+    # ------------------------------------------------------------------
+    # Hooks (fault injection, monitoring)
+    # ------------------------------------------------------------------
+
+    def register_hook(self, hook: DramHook) -> None:
+        """Attach a :class:`DramHook`; it is called on every activation,
+        clock advance, and write until unregistered."""
+        if hook in self._hooks:
+            raise DramError("hook already registered")
+        self._hooks.append(hook)
+
+    def unregister_hook(self, hook: DramHook) -> None:
+        """Detach a previously registered hook (no-op if absent)."""
+        if hook in self._hooks:
+            self._hooks.remove(hook)
+
+    def inject_bit_error(self, socket: int, bank: int, row: int, bit: int) -> None:
+        """Fault-injection entry point: toggle one stored bit, exactly as
+        a defective cell would corrupt it.  The error is visible to the
+        next read/scrub of the row (and, if alone in its 64-bit word,
+        correctable by ECC)."""
+        self.geom.check_row(row)
+        if not 0 <= bit < self.geom.row_bytes * 8:
+            raise DramError(f"bit {bit} outside row of {self.geom.row_bytes} bytes")
+        self._toggle_bit(socket, bank, row, bit)
+
+    def bit_at(self, socket: int, bank: int, row: int, bit: int) -> int:
+        """Current effective value of one cell (stored data XOR flip) —
+        what a raw (ECC-off) read of that bit would sense."""
+        self.geom.check_row(row)
+        return self._effective_bit(socket, bank, row, bit)
 
     # ------------------------------------------------------------------
     # Row repairs
@@ -161,6 +216,8 @@ class SimulatedDram:
         self.counters.activations += 1
         self.clock += self.act_seconds
         self._maybe_full_refresh()
+        for hook in self._hooks:
+            hook.on_activate(self, socket, bank, row)
         internal = self._to_internal(socket, bank, row)
 
         if self.trr is not None:
@@ -254,6 +311,8 @@ class SimulatedDram:
             raise DramError("cannot advance time backwards")
         self.clock += seconds
         self._maybe_full_refresh()
+        for hook in self._hooks:
+            hook.on_clock(self)
 
     # ------------------------------------------------------------------
     # Data path (by host physical address, through the mapping)
@@ -302,6 +361,8 @@ class SimulatedDram:
                     flips.remove(bit)
                 if not flips:
                     del self._flips[(socket, bank, media.row)]
+        for hook in self._hooks:
+            hook.on_write(self, hpa, len(data))
 
     def read(self, hpa: int, length: int, *, ecc: bool = True) -> bytes:
         """Read bytes at *hpa*.

@@ -169,6 +169,81 @@ class ExtendedPageTable:
 
     # ------------------------------------------------------------------
 
+    def remap_range(self, old_start: int, size: int, new_start: int) -> int:
+        """Retarget every leaf pointing into [old_start, old_start+size)
+        to ``new_start + offset`` — the EPT half of live page migration.
+
+        The guest-physical layout is untouched: only the *host* frames
+        behind the leaves change, exactly like Linux's memory-failure
+        soft offlining rewrites PTEs after copying a page.  Large (2 MiB)
+        leaves that only partially overlap the old range are split into
+        4 KiB leaves so the overlapping pieces can be retargeted while
+        the rest stays on its original frames.  Returns the number of
+        mapped bytes that were retargeted (0 when no leaf points into
+        the range).
+        """
+        if size <= 0 or old_start % PAGE_4K or new_start % PAGE_4K or size % PAGE_4K:
+            raise EptError(
+                f"remap must be page-aligned: old={old_start:#x} "
+                f"new={new_start:#x} size={size:#x}"
+            )
+        old_end = old_start + size
+        delta = new_start - old_start
+        # Collect first, mutate after: splitting a leaf mid-walk would
+        # invalidate the traversal.
+        hits: list[tuple[int, int, EptEntry, int, int]] = []
+        self._walk_leaves(self.root, 0, 0, old_start, old_end, hits)
+        moved = 0
+        for table, index, entry, gpa, lbytes in hits:
+            tgt = entry.target_hpa
+            if tgt >= old_start and tgt + lbytes <= old_end:
+                self._write_entry(
+                    table, index, EptEntry.make(tgt + delta, large=entry.large)
+                )
+                moved += lbytes
+            else:  # large leaf straddling the range boundary: split to 4K
+                self.unmap(gpa, lbytes)
+                for off in range(0, lbytes, PAGE_4K):
+                    piece = tgt + off
+                    inside = old_start <= piece < old_end
+                    self._map_one(gpa + off, piece + delta if inside else piece, large=False)
+                    if inside:
+                        moved += PAGE_4K
+                self.mapped_bytes += lbytes
+        return moved
+
+    def _walk_leaves(
+        self,
+        table: int,
+        level: int,
+        gpa_base: int,
+        old_start: int,
+        old_end: int,
+        hits: list[tuple[int, int, "EptEntry", int, int]],
+    ) -> None:
+        """Depth-first leaf scan; reads each table page with one DRAM
+        access (not 512) so the walk itself barely disturbs the media."""
+        page = self.dram.read(table, PAGE_4K, ecc=self.ecc_reads)
+        shift = 12 + 9 * (_LEVELS - 1 - level)
+        for index in range(ENTRIES_PER_PAGE):
+            raw = bytes(page[index * ENTRY_BYTES : (index + 1) * ENTRY_BYTES])
+            entry = EptEntry.unpack(raw)
+            if not entry.present:
+                continue
+            if self.checker is not None:
+                self.checker.verify(table + index * ENTRY_BYTES, raw)
+            gpa = gpa_base + (index << shift)
+            if entry.large and level == 2:
+                if entry.target_hpa < old_end and entry.target_hpa + PAGE_2M > old_start:
+                    hits.append((table, index, entry, gpa, PAGE_2M))
+            elif level == _LEVELS - 1:
+                if old_start <= entry.target_hpa < old_end:
+                    hits.append((table, index, entry, gpa, PAGE_4K))
+            else:
+                self._walk_leaves(
+                    entry.target_hpa, level + 1, gpa, old_start, old_end, hits
+                )
+
     def translate(self, gpa: int) -> int:
         """Walk the table in DRAM; returns the HPA for *gpa*.
 

@@ -1,0 +1,29 @@
+"""Deterministic DRAM fault injection (the runtime-robustness harness).
+
+The package splits cleanly in three:
+
+- :mod:`repro.faults.plan` — declarative, seed-resolved
+  :class:`FaultPlan`/:class:`FaultSpec` schedules (what fails, where,
+  when), serialisable for replay;
+- :mod:`repro.faults.injector` — :class:`FaultInjector`, the
+  :class:`~repro.dram.module.DramHook` that fires a plan against a live
+  :class:`~repro.dram.module.SimulatedDram`;
+- :mod:`repro.faults.scenario` — the end-to-end CE-storm scenario that
+  exercises monitoring, live migration, and offlining, and verifies the
+  isolation invariant afterwards.
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultPlanError, FaultSpec
+from repro.faults.scenario import ScenarioResult, run_ce_storm_scenario
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "ScenarioResult",
+    "run_ce_storm_scenario",
+]

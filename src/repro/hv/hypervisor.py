@@ -61,6 +61,8 @@ class Hypervisor:
         self._processes: dict[str, Process] = {}
         self._ledger: dict[str, list[int]] = {}  # VM -> backing page addrs
         self._next_pid = 1000
+        #: Runtime DRAM health monitor (None until enabled).
+        self.health = None
         self._build_topology()
         self.cgroups.root.mems = {
             n.node_id
@@ -288,6 +290,69 @@ class Hypervisor:
         )
         vm.devices.append(device)
         return device
+
+    # -- runtime fault handling -------------------------------------------
+
+    def enable_health_monitoring(self, policy=None, *, auto_remediate: bool = True):
+        """Attach a :class:`~repro.hv.health.HealthMonitor` (the EDAC /
+        mcelog analogue) to this hypervisor's DRAM error stream.  Idempotent
+        per hypervisor: a second call returns the existing monitor."""
+        if self.health is not None:
+            return self.health
+        from repro.hv.health import HealthMonitor
+
+        self.health = HealthMonitor(
+            self, policy=policy, auto_remediate=auto_remediate
+        )
+        self.health.attach()
+        return self.health
+
+    def vm_block_owner(self, addr: int) -> tuple[VirtualMachine, bool] | None:
+        """Which VM's ledger holds backing page *addr*; returns
+        (vm, is_mediated) or None for non-VM memory (EPT pages, free
+        pool).  Live migration uses this to find whose EPT to rewrite."""
+        for name, addrs in self._ledger.items():
+            if addr in addrs:
+                vm = self.vms.get(name)
+                if vm is None:
+                    return None
+                mediated = any(addr in r for r in vm.mediated_backing)
+                return vm, mediated
+        return None
+
+    def table_page_owner(self, addr: int) -> str | None:
+        """Name of the VM whose EPT (or device IOMMU) tables include the
+        page at *addr*, or None.  Table pages cannot be live-migrated in
+        this model (their HPAs are interior tree pointers), so migration
+        defers ranges containing them."""
+        for name, vm in self.vms.items():
+            if addr in vm.ept.table_pages:
+                return name
+            for device in vm.devices:
+                if addr in device.domain.table_pages:
+                    return name
+        return None
+
+    def relocate_block(
+        self, vm: VirtualMachine, old: int, size: int, new: int
+    ) -> None:
+        """Move one backing block of *vm* from HPA *old* to *new*: EPT
+        and device-IOMMU leaves are retargeted, the VM's backing ranges
+        and the allocation ledger are updated.  The caller has already
+        copied the data and owns freeing/retiring the old frames."""
+        vm.ept.remap_range(old, size, new)
+        for device in vm.devices:
+            device.domain.remap_range(old, size, new)
+        vm.replace_backing(
+            AddressRange(old, old + size), AddressRange(new, new + size)
+        )
+        addrs = self._ledger.get(vm.name, [])
+        try:
+            addrs[addrs.index(old)] = new
+        except ValueError:
+            raise HvError(
+                f"block {old:#x} not in {vm.name!r}'s allocation ledger"
+            ) from None
 
     # -- introspection ---------------------------------------------------
 

@@ -70,6 +70,12 @@ class IommuDomain:
     def unmap(self, iova: int, size: int) -> None:
         self._table.unmap(iova, size)
 
+    def remap_range(self, old_start: int, size: int, new_start: int) -> int:
+        """Retarget DMA mappings pointing into a migrated host range —
+        the IOMMU must follow live page migration just like the EPT, or
+        the device would keep DMAing into the offlined frames."""
+        return self._table.remap_range(old_start, size, new_start)
+
     def translate(self, iova: int) -> int:
         """IOVA -> HPA; raises IommuFault on unmapped device addresses."""
         from repro.errors import EptViolation

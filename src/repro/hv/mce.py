@@ -63,6 +63,9 @@ class MceHandler:
         hpa = error.address
         if hpa is None:
             raise ValueError("uncorrectable error carries no address")
+        health = getattr(self.hv, "health", None)
+        if health is not None:
+            health.on_uncorrectable(hpa)
         if self.hv.offline.is_offline(hpa):
             incident = MceIncident(hpa, MceOutcome.GUARD_ABSORBED, None)
             self.incidents.append(incident)
@@ -91,6 +94,7 @@ class MceHandler:
         if not self.offline_failed_pages:
             return
         from repro.dram.mapping import AddressRange
+        from repro.errors import MmError, OfflineError
 
         page = hpa - hpa % PAGE_4K
         try:
@@ -98,10 +102,12 @@ class MceHandler:
             self.hv.offline.offline(
                 node, AddressRange(page, page + PAGE_4K), OfflineReason.FAULTY
             )
-        except Exception:
-            # Freed-but-unreserved or already-busy pages: leave them; the
-            # incident log still records the failure.
-            pass
+        except (OfflineError, MmError) as exc:
+            # Expected best-effort failures: the page sits on no node, or
+            # is busy/already reserved.  The incident log still records
+            # the failure; anything else is a programming error and must
+            # propagate.
+            _log.warning("could not offline failed page %#x: %s", page, exc)
 
     def guarded_read(self, vm_name: str, gpa: int, length: int) -> bytes | MceIncident:
         """A guest load with memory-failure semantics: returns data, or

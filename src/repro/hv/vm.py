@@ -148,6 +148,30 @@ class VirtualMachine:
             hpa in r for r in self.mediated_backing
         )
 
+    def replace_backing(self, old: AddressRange, new: AddressRange) -> None:
+        """Swap one backing extent for another (live page migration):
+        *old* is carved out of whichever backing list covers it and *new*
+        is merged in.  The EPT/IOMMU retargeting happens separately —
+        this only updates the ownership bookkeeping that ``owns_hpa`` and
+        the isolation audit read."""
+        from repro.dram.mapping import merge_ranges, subtract_ranges
+
+        if old.size != new.size:
+            raise HvError(
+                f"VM {self.name}: replacement size mismatch "
+                f"({old.size:#x} != {new.size:#x})"
+            )
+        for attr in ("backing", "mediated_backing"):
+            ranges = getattr(self, attr)
+            if any(old.start >= r.start and old.end <= r.end for r in ranges):
+                setattr(
+                    self, attr, merge_ranges(subtract_ranges(ranges, [old]) + [new])
+                )
+                return
+        raise HvError(
+            f"VM {self.name}: range {old} is not part of this VM's backing"
+        )
+
     def __repr__(self) -> str:
         return (
             f"VirtualMachine({self.name!r}, {self.vcpus} vcpus, "

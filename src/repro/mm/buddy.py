@@ -45,6 +45,8 @@ class BuddyAllocator:
             raise MmError("allocator needs at least one range")
         self._free: list[set[int]] = [set() for _ in range(MAX_ORDER + 1)]
         self._allocated: dict[int, int] = {}  # start -> order
+        self._quarantined: dict[int, int] = {}  # start -> order (soak, §health)
+        self.retired_bytes = 0  # permanently removed (runtime offlining)
         self.ranges = list(ranges)
         for r in ranges:
             self._seed_range(r)
@@ -154,6 +156,109 @@ class BuddyAllocator:
                     progressed = True
             if not progressed:
                 raise MmError(f"range {target} not fully free; cannot reserve")
+
+    # ------------------------------------------------------------------
+    # Runtime fault handling: quarantine, retirement, block queries
+    # ------------------------------------------------------------------
+
+    @property
+    def quarantined_bytes(self) -> int:
+        return sum(MIN_BLOCK << o for o in self._quarantined.values())
+
+    def free_blocks_within(self, target: AddressRange) -> list[tuple[int, int]]:
+        """(addr, size) of every free block overlapping *target*, sorted."""
+        out = []
+        for order, blocks in enumerate(self._free):
+            size = MIN_BLOCK << order
+            for addr in blocks:
+                if AddressRange(addr, addr + size).overlaps(target):
+                    out.append((addr, size))
+        return sorted(out)
+
+    def allocated_blocks_within(self, target: AddressRange) -> list[tuple[int, int]]:
+        """(addr, size) of every allocated block overlapping *target*,
+        sorted — the pages live migration must move before offlining."""
+        out = []
+        for addr, order in self._allocated.items():
+            size = MIN_BLOCK << order
+            if AddressRange(addr, addr + size).overlaps(target):
+                out.append((addr, size))
+        return sorted(out)
+
+    def quarantine_range(self, target: AddressRange) -> int:
+        """Pull every currently-free page inside *target* out of the free
+        pool (splitting partially-overlapping blocks), without requiring
+        the range to be fully free — unlike :meth:`reserve_range`, which
+        is the boot-time primitive.  This is the *soak* step of runtime
+        fault handling: already-allocated pages stay in place (they will
+        be migrated), but no new allocation can land in the range.
+        Returns the number of bytes quarantined; undo with
+        :meth:`release_quarantine`, make permanent with
+        :meth:`finalize_quarantine`."""
+        if target.start % MIN_BLOCK or target.size % MIN_BLOCK:
+            raise MmError(f"quarantine target {target} not page-aligned")
+        moved = 0
+        progressed = True
+        while progressed:
+            progressed = False
+            for order in range(MAX_ORDER + 1):
+                size = MIN_BLOCK << order
+                for addr in list(self._free[order]):
+                    block = AddressRange(addr, addr + size)
+                    if not block.overlaps(target):
+                        continue
+                    self._free[order].remove(addr)
+                    if block.start >= target.start and block.end <= target.end:
+                        self._quarantined[addr] = order
+                        moved += size
+                    elif order > 0:
+                        half = size // 2
+                        self._free[order - 1].add(addr)
+                        self._free[order - 1].add(addr + half)
+                    else:  # aligned target cannot split an order-0 page
+                        raise MmError("page-aligned target cannot split a page")
+                    progressed = True
+        return moved
+
+    def release_quarantine(self, target: AddressRange | None = None) -> int:
+        """Return quarantined blocks (all, or those inside *target*) to
+        the free pool, re-coalescing buddies — the de-escalation path
+        when a soaked row group recovers."""
+        released = 0
+        for addr, order in sorted(self._quarantined.items()):
+            size = MIN_BLOCK << order
+            if target is not None and not AddressRange(addr, addr + size).overlaps(
+                target
+            ):
+                continue
+            del self._quarantined[addr]
+            self._allocated[addr] = order  # free() coalesces from here
+            self.free(addr)
+            released += size
+        return released
+
+    def finalize_quarantine(self, target: AddressRange) -> int:
+        """Permanently retire the quarantined blocks inside *target*
+        (runtime offlining: the frames leave circulation for good)."""
+        done = 0
+        for addr, order in sorted(self._quarantined.items()):
+            size = MIN_BLOCK << order
+            if AddressRange(addr, addr + size).overlaps(target):
+                del self._quarantined[addr]
+                self.retired_bytes += size
+                done += size
+        return done
+
+    def retire(self, addr: int) -> int:
+        """Permanently remove an *allocated* block from circulation
+        (after its contents were migrated elsewhere); returns its size.
+        Unlike :meth:`free`, the frames never return to the free pool."""
+        order = self._allocated.pop(addr, None)
+        if order is None:
+            raise MmError(f"retire of unallocated address {addr:#x}")
+        size = MIN_BLOCK << order
+        self.retired_bytes += size
+        return size
 
     def contains(self, addr: int) -> bool:
         return any(addr in r for r in self.ranges)

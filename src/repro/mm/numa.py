@@ -64,6 +64,22 @@ class NumaNode:
     def free_addr(self, addr: int) -> None:
         self.allocator.free(addr)
 
+    # -- runtime fault handling (soak / migrate / offline) --------------
+
+    def quarantine_range(self, target: AddressRange) -> int:
+        """Soak: stop new allocations landing in *target* (free pages are
+        pulled from the pool; allocated pages stay for migration)."""
+        return self.allocator.quarantine_range(target)
+
+    def release_quarantine(self, target: AddressRange | None = None) -> int:
+        """Undo a soak, returning quarantined pages to the free pool."""
+        return self.allocator.release_quarantine(target)
+
+    def allocated_blocks_within(self, target: AddressRange) -> list[tuple[int, int]]:
+        """Allocated (addr, size) blocks overlapping *target* — what live
+        migration must relocate before the range can be offlined."""
+        return self.allocator.allocated_blocks_within(target)
+
     def __repr__(self) -> str:
         return (
             f"NumaNode(id={self.node_id}, {self.kind.value}, "

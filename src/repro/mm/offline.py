@@ -1,4 +1,4 @@
-"""Page offlining (paper §5.4, §6).
+"""Page offlining (paper §5.4, §6) — boot-time and runtime.
 
 Linux can remove faulty pages from allocatable memory; Siloz extends the
 same mechanism to pull guard-row pages (protecting EPT rows) and
@@ -6,16 +6,39 @@ isolation-violating pages (inter-subarray repairs, scrambling boundary
 rows) out of circulation during system initialisation.  The registry
 records *why* each range was offlined so the overhead accounting benches
 can attribute reserved DRAM to its cause.
+
+Two offlining entry points exist:
+
+- :meth:`OfflineRegistry.offline` — the boot path: the range must be
+  entirely free (Siloz runs it before any allocations, §5.3);
+- :meth:`OfflineRegistry.offline_retired` — the runtime path used by
+  live migration: the caller has already quarantined the free pages and
+  retired the allocated ones (copying their contents elsewhere), and
+  the registry verifies nothing in the range remains in circulation.
+
+Ranges that *cannot* be offlined yet (pages still allocated to an owner
+migration couldn't move) are parked as :class:`DeferredOffline` records
+— graceful degradation instead of a crash — and re-attempted via
+:meth:`OfflineRegistry.retry_pending`.
+
+Membership queries (:meth:`OfflineRegistry.is_offline`) are served from
+a bisect-maintained sorted interval index rather than a linear scan:
+the query sits on the MCE path and is issued per-event by the runtime
+health monitor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import bisect
+from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.dram.mapping import AddressRange, merge_ranges
 from repro.errors import OfflineError
+from repro.log import get_logger
 from repro.mm.numa import NumaNode
+
+_log = get_logger("mm.offline")
 
 
 class OfflineReason(Enum):
@@ -25,6 +48,7 @@ class OfflineReason(Enum):
     SCRAMBLING_BOUNDARY = "scrambling-boundary"  # §6
     ARTIFICIAL_BOUNDARY = "artificial-subarray-guard"  # §6
     FAULTY = "faulty"  # classic bad-page offlining
+    CE_STORM = "ce-storm"  # runtime health escalation (degrading DRAM)
 
 
 @dataclass(frozen=True)
@@ -34,11 +58,58 @@ class OfflinedRange:
     node_id: int
 
 
+@dataclass
+class DeferredOffline:
+    """A row group that *should* be offline but still has pages the
+    migration path could not move (owner unknown, target frames scarce,
+    or uncorrectable data).  It stays quarantined — no new allocations
+    land there — until a retry completes the removal."""
+
+    range: AddressRange
+    reason: OfflineReason
+    node_id: int
+    why: str
+    attempts: int = 1
+
+
 class OfflineRegistry:
     """Tracks offlined ranges and executes the removal on node pools."""
 
     def __init__(self) -> None:
         self._entries: list[OfflinedRange] = []
+        self._pending: list[DeferredOffline] = []
+        # Sorted, merged interval index over every offlined range, kept
+        # in lockstep with _entries; serves is_offline in O(log n).
+        self._index_starts: list[int] = []
+        self._index_ends: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Interval index
+    # ------------------------------------------------------------------
+
+    def _index_add(self, target: AddressRange) -> None:
+        start, end = target.start, target.end
+        i = bisect.bisect_left(self._index_starts, start)
+        if i > 0 and self._index_ends[i - 1] >= start:  # merge left
+            i -= 1
+            start = self._index_starts[i]
+            end = max(end, self._index_ends[i])
+            del self._index_starts[i], self._index_ends[i]
+        while i < len(self._index_starts) and self._index_starts[i] <= end:
+            end = max(end, self._index_ends[i])  # absorb right
+            del self._index_starts[i], self._index_ends[i]
+        self._index_starts.insert(i, start)
+        self._index_ends.insert(i, end)
+
+    def is_offline(self, hpa: int) -> bool:
+        """O(log n) membership test over all offlined ranges (MCE path,
+        per-event health-monitor queries)."""
+        i = bisect.bisect_right(self._index_starts, hpa) - 1
+        return i >= 0 and hpa < self._index_ends[i]
+
+    # ------------------------------------------------------------------
+    # Boot-time offlining
+    # ------------------------------------------------------------------
 
     def offline(self, node: NumaNode, target: AddressRange, reason: OfflineReason) -> None:
         """Remove *target* from *node*'s free pool.
@@ -55,6 +126,87 @@ class OfflineRegistry:
         except Exception as exc:
             raise OfflineError(f"cannot offline {target}: {exc}") from exc
         self._entries.append(OfflinedRange(target, reason, node.node_id))
+        self._index_add(target)
+
+    # ------------------------------------------------------------------
+    # Runtime offlining (live migration path)
+    # ------------------------------------------------------------------
+
+    def offline_retired(
+        self, node: NumaNode, target: AddressRange, reason: OfflineReason
+    ) -> int:
+        """Record *target* as offline after live migration emptied it.
+
+        The caller must already have quarantined the range's free pages
+        and retired (migrated away) its allocated blocks; any page still
+        free or allocated within the range raises :class:`OfflineError`.
+        Quarantined pages are finalized (permanently retired) here.
+        Returns the number of bytes newly taken out of circulation.
+        """
+        if not any(
+            target.start >= r.start and target.end <= r.end for r in node.ranges
+        ):
+            raise OfflineError(f"range {target} not within node {node.node_id}")
+        finalized = node.allocator.finalize_quarantine(target)
+        busy = node.allocator.allocated_blocks_within(target)
+        if busy:
+            raise OfflineError(
+                f"range {target} still has allocated blocks "
+                f"{[(hex(a), s) for a, s in busy]}; migrate them first"
+            )
+        stray = node.allocator.free_blocks_within(target)
+        if stray:
+            raise OfflineError(
+                f"range {target} still has free blocks; quarantine them first"
+            )
+        self._entries.append(OfflinedRange(target, reason, node.node_id))
+        self._index_add(target)
+        _log.info(
+            "runtime-offlined %s on node %d (%s): %d bytes finalized",
+            target,
+            node.node_id,
+            reason.value,
+            finalized,
+        )
+        return target.size
+
+    def defer(
+        self,
+        node_id: int,
+        target: AddressRange,
+        reason: OfflineReason,
+        why: str,
+    ) -> DeferredOffline:
+        """Park *target* as offline-pending (graceful degradation): the
+        range stays quarantined but cannot be fully removed yet.  An
+        existing pending record for the same range is re-used (attempt
+        count incremented)."""
+        for item in self._pending:
+            if item.range == target:
+                item.attempts += 1
+                item.why = why
+                return item
+        item = DeferredOffline(range=target, reason=reason, node_id=node_id, why=why)
+        self._pending.append(item)
+        _log.warning("deferred offline of %s: %s", target, why)
+        return item
+
+    @property
+    def pending(self) -> list[DeferredOffline]:
+        return list(self._pending)
+
+    def resolve_pending(self, target: AddressRange) -> bool:
+        """Drop the pending record for *target* (after a retry offlined
+        it); returns True when a record existed."""
+        for item in self._pending:
+            if item.range == target:
+                self._pending.remove(item)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
 
     @property
     def entries(self) -> list[OfflinedRange]:
@@ -69,9 +221,6 @@ class OfflineRegistry:
 
     def ranges_for(self, reason: OfflineReason) -> list[AddressRange]:
         return merge_ranges([e.range for e in self._entries if e.reason is reason])
-
-    def is_offline(self, hpa: int) -> bool:
-        return any(hpa in e.range for e in self._entries)
 
     def summary(self) -> dict[str, int]:
         """Bytes offlined per reason — feeds the O1/O2 overhead benches."""

@@ -191,3 +191,68 @@ class TestReserveRange:
         alloc = make(size=256 * KiB)
         alloc.reserve_range(AddressRange(PAGE_4K, 2 * PAGE_4K))
         assert alloc.free_bytes == 256 * KiB - PAGE_4K
+
+
+class TestQuarantine:
+    def test_quarantine_tolerates_allocated_blocks(self):
+        alloc = make(size=1 * MiB)
+        addr = alloc.alloc_bytes(64 * KiB)  # lowest address: inside target
+        target = AddressRange(0, 128 * KiB)
+        moved = alloc.quarantine_range(target)
+        assert moved == 128 * KiB - 64 * KiB  # only the free half moved
+        assert alloc.quarantined_bytes == 64 * KiB
+        assert alloc.allocated_blocks_within(target) == [(addr, 64 * KiB)]
+        # Nothing new lands in the quarantined range.
+        others = [alloc.alloc(0) for _ in range(16)]
+        assert all(a not in target for a in others)
+
+    def test_release_restores_and_coalesces(self):
+        alloc = make(size=1 * MiB)
+        before = alloc.free_bytes
+        alloc.quarantine_range(AddressRange(64 * KiB, 192 * KiB))
+        assert alloc.free_bytes == before - 128 * KiB
+        released = alloc.release_quarantine()
+        assert released == 128 * KiB
+        assert alloc.free_bytes == before
+        assert alloc.quarantined_bytes == 0
+        # Coalescing happened: the full pool is allocatable as one block.
+        assert alloc.alloc_bytes(1 * MiB) == 0
+
+    def test_release_scoped_to_target(self):
+        alloc = make(size=1 * MiB)
+        alloc.quarantine_range(AddressRange(0, 64 * KiB))
+        alloc.quarantine_range(AddressRange(128 * KiB, 192 * KiB))
+        released = alloc.release_quarantine(AddressRange(0, 64 * KiB))
+        assert released == 64 * KiB
+        assert alloc.quarantined_bytes == 64 * KiB
+
+    def test_finalize_retires_for_good(self):
+        alloc = make(size=1 * MiB)
+        target = AddressRange(0, 64 * KiB)
+        alloc.quarantine_range(target)
+        done = alloc.finalize_quarantine(target)
+        assert done == 64 * KiB
+        assert alloc.retired_bytes == 64 * KiB
+        assert alloc.quarantined_bytes == 0
+        assert alloc.free_bytes == 1 * MiB - 64 * KiB
+
+    def test_unaligned_quarantine_rejected(self):
+        with pytest.raises(MmError):
+            make().quarantine_range(AddressRange(100, 4196))
+
+
+class TestRetire:
+    def test_retire_allocated_block(self):
+        alloc = make(size=1 * MiB)
+        addr = alloc.alloc_bytes(64 * KiB)
+        size = alloc.retire(addr)
+        assert size == 64 * KiB
+        assert alloc.retired_bytes == 64 * KiB
+        # The frames never come back.
+        assert alloc.free_bytes == 1 * MiB - 64 * KiB
+        with pytest.raises(MmError):
+            alloc.free(addr)
+
+    def test_retire_unallocated_rejected(self):
+        with pytest.raises(MmError):
+            make().retire(0x3000)

@@ -1,0 +1,158 @@
+"""Tests for the runtime health monitor: leaky-bucket escalation from
+correctable-error storms to soak and live offlining."""
+
+import pytest
+
+from repro.core import SilozHypervisor
+from repro.dram.ecc import EccEvent, EccOutcome
+from repro.errors import UncorrectableError
+from repro.hv import Machine, VmSpec
+from repro.hv.health import HealthError, HealthMonitor, HealthPolicy, HealthState
+from repro.hv.mce import MceHandler
+from repro.units import MiB
+
+
+def make_hv(seed=51):
+    return SilozHypervisor.boot(Machine.small(seed=seed))
+
+
+def ce(socket, row, when, bank=0, word=0):
+    return EccEvent(socket=socket, bank=bank, row=row, word=word,
+                    outcome=EccOutcome.CORRECTED, flipped_bits=1, when=when)
+
+
+def ue(socket, row, when):
+    return EccEvent(socket=socket, bank=0, row=row, word=0,
+                    outcome=EccOutcome.UNCORRECTABLE, flipped_bits=2, when=when)
+
+
+class TestPolicy:
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(HealthError):
+            HealthPolicy(watch_threshold=6.0, soak_threshold=3.0)
+
+    def test_negative_leak_rejected(self):
+        with pytest.raises(HealthError):
+            HealthPolicy(leak_per_second=-1.0)
+
+
+class TestBucket:
+    def setup_method(self):
+        self.hv = make_hv()
+        self.monitor = HealthMonitor(self.hv, auto_remediate=False).attach()
+
+    def test_unknown_row_group_is_ok(self):
+        assert self.monitor.state_of(0, 5) is HealthState.OK
+        assert self.monitor.level_of(0, 5) == 0.0
+
+    def test_ces_accumulate(self):
+        for i in range(2):
+            self.monitor.on_ecc_event(ce(0, 5, when=float(i)))
+        assert self.monitor.state_of(0, 5) is HealthState.OK
+        # Two events one second apart with leak 1.0/s: 1 + (1 - 1) = 1.
+        assert self.monitor.level_of(0, 5) == pytest.approx(1.0)
+
+    def test_leak_drains_with_time(self):
+        self.monitor.on_ecc_event(ce(0, 5, when=0.0))
+        self.hv.machine.dram.advance_time(10.0)
+        assert self.monitor.level_of(0, 5) == 0.0
+
+    def test_watch_threshold(self):
+        # Four events: the leak drains a hair between them, so three
+        # would land just under the 3.0 threshold.
+        for i in range(4):
+            self.monitor.on_ecc_event(ce(0, 5, when=i * 0.001))
+        assert self.monitor.state_of(0, 5) is HealthState.WATCH
+        assert any("watch" in line for line in self.monitor.timeline)
+
+    def test_ue_weight_jumps_straight_to_soak(self):
+        self.monitor.on_ecc_event(ue(0, 5, when=0.0))
+        # One UE is worth 8.0: past watch (3) and soak (6) in one event.
+        assert self.monitor.state_of(0, 5) is HealthState.SOAK
+
+    def test_recovery_via_poll(self):
+        for i in range(4):
+            self.monitor.on_ecc_event(ce(0, 5, when=i * 0.001))
+        assert self.monitor.state_of(0, 5) is HealthState.WATCH
+        self.hv.machine.dram.advance_time(60.0)
+        self.monitor.poll()
+        assert self.monitor.state_of(0, 5) is HealthState.OK
+        assert any("recovered" in line for line in self.monitor.timeline)
+
+    def test_silent_errors_invisible(self):
+        event = EccEvent(socket=0, bank=0, row=5, word=0,
+                         outcome=EccOutcome.SILENT, flipped_bits=3, when=0.0)
+        self.monitor.on_ecc_event(event)
+        assert self.monitor.level_of(0, 5) == 0.0
+
+    def test_offline_threshold_respects_auto_remediate_off(self):
+        for i in range(15):
+            self.monitor.on_ecc_event(ce(0, 5, when=i * 0.001))
+        assert self.monitor.state_of(0, 5) is HealthState.SOAK
+        assert any("auto-remediation disabled" in line for line in self.monitor.timeline)
+
+
+class TestSoak:
+    def test_soak_quarantines_free_row_group(self):
+        hv = make_hv()
+        monitor = HealthMonitor(hv, auto_remediate=False).attach()
+        # Pick a row group inside a free guest-reserved node.
+        from repro.mm.numa import NodeKind
+
+        node = hv.topology.nodes_of_kind(NodeKind.GUEST_RESERVED)[0]
+        target = None
+        for row in range(hv.machine.geom.rows_per_bank):
+            rg = hv.machine.mapping.row_group_ranges(0, row)[0]
+            if any(rg.start >= r.start and rg.end <= r.end for r in node.ranges):
+                target = row
+                break
+        assert target is not None
+        before = node.free_bytes
+        for i in range(7):
+            monitor.on_ecc_event(ce(0, target, when=i * 0.001))
+        assert monitor.state_of(0, target) is HealthState.SOAK
+        assert node.free_bytes == before - hv.machine.geom.row_group_bytes
+        assert node.allocator.quarantined_bytes == hv.machine.geom.row_group_bytes
+        # Recovery releases the quarantine.
+        hv.machine.dram.advance_time(60.0)
+        monitor.poll()
+        assert monitor.state_of(0, target) is HealthState.OK
+        assert node.free_bytes == before
+
+
+class TestEscalationToOffline:
+    def test_storm_reaches_offlined(self):
+        hv = make_hv()
+        vm = hv.create_vm(VmSpec(name="tenant", memory_bytes=2 * MiB))
+        monitor = hv.enable_health_monitoring()
+        hpa = vm.backing[0].start
+        media = hv.machine.mapping.decode(hpa)
+        for i in range(15):
+            monitor.on_ecc_event(ce(media.socket, media.row, when=i * 0.001))
+        assert monitor.state_of(media.socket, media.row) is HealthState.OFFLINED
+        assert monitor.reports and monitor.reports[0].complete
+        rg = hv.machine.mapping.row_group_ranges(media.socket, media.row)[0]
+        assert hv.offline.is_offline(rg.start)
+
+    def test_enable_is_idempotent(self):
+        hv = make_hv()
+        first = hv.enable_health_monitoring()
+        assert hv.enable_health_monitoring() is first
+
+
+class TestMceFeed:
+    def test_handler_feeds_health_ledger(self):
+        hv = make_hv()
+        vm = hv.create_vm(VmSpec(name="tenant", memory_bytes=2 * MiB))
+        monitor = hv.enable_health_monitoring(
+            HealthPolicy(ue_weight=4.0), auto_remediate=False
+        )
+        hpa = vm.translate(0x5000)
+        media = hv.machine.mapping.decode(hpa)
+        bank = media.socket_bank_index(hv.machine.geom)
+        for bit in (0, 1):
+            hv.machine.dram._toggle_bit(media.socket, bank, media.row,
+                                        media.col * 8 + bit)
+        MceHandler(hv).handle(UncorrectableError("uc", address=hpa))
+        assert monitor.level_of(media.socket, media.row) == pytest.approx(4.0)
+        assert monitor.state_of(media.socket, media.row) is HealthState.WATCH

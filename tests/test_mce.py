@@ -61,6 +61,69 @@ class TestHandlerPolicy:
         with pytest.raises(ValueError):
             self.mce.handle(UncorrectableError("uc"))
 
+    def test_repeated_ue_on_same_page_absorbed(self):
+        """Second UE on a page the first already offlined: no kill, no
+        crash — the offlined page absorbs it like a guard row."""
+        hpa = self.vm.translate(0x5000)
+        _inject_double_flip(self.hv, hpa)
+        first = self.mce.guarded_read("tenant", 0x5000, 64)
+        assert first.outcome is MceOutcome.VM_KILLED
+        second = self.mce.handle(UncorrectableError("uc", address=hpa))
+        assert second.outcome is MceOutcome.GUARD_ABSORBED
+        assert len(self.mce.incidents) == 2
+
+    def test_ue_in_freed_host_memory_panics_cleanly(self):
+        """A UE in memory that was allocated and freed again is host
+        memory with no owner: classified HOST_PANIC, handler survives."""
+        host_node = self.hv.topology.node(0)
+        hpa = host_node.alloc_bytes(4 * KiB)
+        host_node.free_addr(hpa)
+        _inject_double_flip(self.hv, hpa)
+        incident = self.mce.handle(UncorrectableError("uc", address=hpa))
+        assert incident.outcome is MceOutcome.HOST_PANIC
+        assert incident.victim_vm is None
+
+    def test_offline_failure_is_logged_not_fatal(self):
+        """_maybe_offline catches only expected offlining failures; a
+        busy page leaves the VM killed and the page online."""
+        vm2 = self.hv.create_vm(VmSpec(name="tenant2", memory_bytes=2 * MiB))
+        hpa = self.vm.translate(0x5000)
+        page = hpa - hpa % (4 * KiB)
+        _inject_double_flip(self.hv, hpa)
+        # Simulate the page staying busy at offline time.
+        from repro.errors import OfflineError
+
+        calls = []
+        original = self.hv.offline.offline
+
+        def failing_offline(node, target, reason):
+            calls.append(target)
+            raise OfflineError("synthetic: page busy")
+
+        self.hv.offline.offline = failing_offline
+        try:
+            incident = self.mce.handle(UncorrectableError("uc", address=hpa))
+        finally:
+            self.hv.offline.offline = original
+        assert incident.outcome is MceOutcome.VM_KILLED
+        assert calls and calls[0].start == page
+        assert not self.hv.offline.is_offline(page)
+        assert vm2.state is VmState.RUNNING
+
+    def test_programming_errors_propagate(self):
+        """The bare ``except Exception`` is gone: only OfflineError /
+        MmError are treated as best-effort; anything else is a bug and
+        must surface."""
+        hpa = self.vm.translate(0x5000)
+        _inject_double_flip(self.hv, hpa)
+
+        def broken_offline(node, target, reason):
+            raise TypeError("bug in offlining")
+
+        self.hv.offline.offline = broken_offline
+        with pytest.raises(TypeError):
+            self.mce.handle(UncorrectableError("uc", address=hpa))
+
 
 class TestDosBlastRadius:
     """The paper's availability story, end to end."""
