@@ -16,7 +16,12 @@ ACCESSES = 12_000
 
 
 def _run():
-    systems = [baseline_system(seed=50), siloz_system(seed=50)]
+    # Batched engine: identical results to scalar (tests/test_differential.py),
+    # measured faster in BENCH_engine.json.
+    systems = [
+        baseline_system(seed=50, backend="batched"),
+        siloz_system(seed=50, backend="batched"),
+    ]
     return perf_experiment(
         systems,
         list(THROUGHPUT_SUITES),

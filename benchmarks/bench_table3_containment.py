@@ -19,7 +19,9 @@ from repro.units import KiB, MiB
 
 
 def _siloz_campaign(dimm: DisturbanceProfile, seed: int):
-    hv = SilozHypervisor.boot(Machine.small(seed=seed, profile=dimm))
+    # Batched engine: identical results to scalar (tests/test_differential.py),
+    # measured >=2x faster in BENCH_engine.json.
+    hv = SilozHypervisor.boot(Machine.small(seed=seed, profile=dimm, backend="batched"))
     attacker = hv.create_vm(VmSpec(name="attacker", memory_bytes=2 * MiB))
     hv.create_vm(VmSpec(name="victim", memory_bytes=2 * MiB))
     outcome = attack_from_vm(hv, attacker, seed=seed, pattern_budget=35)
@@ -67,7 +69,9 @@ def test_table3_siloz_containment(benchmark):
 
 
 def _baseline_contrast():
-    hv = BaselineHypervisor(Machine.small(seed=200), backing_page_bytes=64 * KiB)
+    hv = BaselineHypervisor(
+        Machine.small(seed=200, backend="batched"), backing_page_bytes=64 * KiB
+    )
     attacker = hv.create_vm(VmSpec(name="attacker", memory_bytes=2 * MiB))
     hv.create_vm(VmSpec(name="victim", memory_bytes=2 * MiB))
     return attack_from_vm(hv, attacker, seed=200, pattern_budget=80)

@@ -77,8 +77,7 @@ def measure_blast_radius(
     for row in aggressor_rows:
         geom.check_row(row)
         before = len(dram.flips_log)
-        for _ in range(activations):
-            dram.activate(socket, bank, row)
+        dram.activate_batch(socket, bank, [row] * activations)
         profile.samples += 1
         for flip in dram.flips_log[before:]:
             distance = abs(flip.row - row)

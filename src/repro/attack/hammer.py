@@ -44,18 +44,19 @@ def run_pattern(
         if 0 <= base_row + offset < geom.rows_per_bank
     ]
     synchronize = sync_ref and decoy_rows and dram.trr is not None
+    if not synchronize:
+        # One batch for the whole pattern: the engine fast path (when
+        # the module runs the batched backend) amortizes the per-ACT
+        # dispatch over every round.
+        return dram.activate_batch(socket, bank, rows * pattern.rounds)
     flips: list[BitFlip] = []
     for _ in range(pattern.rounds):
-        if synchronize:
-            remaining = dram.acts_until_trr_ref(socket, bank)
-            # Burn the tail of this REF window on decoys so the round
-            # (decoys first, then aggressors) starts right after REF.
-            for i in range(remaining):
-                flips.extend(
-                    dram.activate(socket, bank, decoy_rows[i % len(decoy_rows)])
-                )
-        for row in rows:
-            flips.extend(dram.activate(socket, bank, row))
+        remaining = dram.acts_until_trr_ref(socket, bank)
+        # Burn the tail of this REF window on decoys so the round
+        # (decoys first, then aggressors) starts right after REF.
+        batch = [decoy_rows[i % len(decoy_rows)] for i in range(remaining)]
+        batch.extend(rows)
+        flips.extend(dram.activate_batch(socket, bank, batch))
     return flips
 
 
@@ -87,8 +88,4 @@ def hammer_pattern_rows(
         raise AttackError("need at least one row")
     for row in rows:
         dram.geom.check_row(row)
-    flips: list[BitFlip] = []
-    for _ in range(rounds):
-        for row in rows:
-            flips.extend(dram.activate(socket, bank, row))
-    return flips
+    return dram.activate_batch(socket, bank, rows * rounds)

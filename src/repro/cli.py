@@ -28,7 +28,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print("Paper-scale geometry (Table 2):")
     print(DRAMGeometry.paper_default().describe())
     print("\nBooting Siloz on the bit-level small machine:")
-    hv = SilozHypervisor.boot(Machine.small(seed=args.seed))
+    hv = SilozHypervisor.boot(Machine.small(seed=args.seed, backend=args.backend))
     print(hv.describe())
     for kind in NodeKind:
         nodes = hv.topology.nodes_of_kind(kind)
@@ -45,7 +45,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     from repro.hv import BaselineHypervisor, Machine, VmSpec
     from repro.units import KiB
 
-    machine = Machine.small(seed=args.seed)
+    machine = Machine.small(seed=args.seed, backend=args.backend)
     if args.hypervisor == "siloz":
         hv = SilozHypervisor.boot(machine)
     else:
@@ -79,13 +79,31 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     metric = "time" if figure in (4, 6) else "bandwidth"
     workloads = list(EXEC_TIME_SUITES if figure in (4, 6) else THROUGHPUT_SUITES)
     if figure in (4, 5):
-        systems = [baseline_system(seed=args.seed), siloz_system(seed=args.seed)]
+        systems = [
+            baseline_system(seed=args.seed, backend=args.backend),
+            siloz_system(seed=args.seed, backend=args.backend),
+        ]
         baseline = "baseline"
     else:
         systems = [
-            siloz_system(name="siloz-1024", rows_per_subarray=128, seed=args.seed),
-            siloz_system(name="siloz-512", rows_per_subarray=64, seed=args.seed),
-            siloz_system(name="siloz-2048", rows_per_subarray=256, seed=args.seed),
+            siloz_system(
+                name="siloz-1024",
+                rows_per_subarray=128,
+                seed=args.seed,
+                backend=args.backend,
+            ),
+            siloz_system(
+                name="siloz-512",
+                rows_per_subarray=64,
+                seed=args.seed,
+                backend=args.backend,
+            ),
+            siloz_system(
+                name="siloz-2048",
+                rows_per_subarray=256,
+                seed=args.seed,
+                backend=args.backend,
+            ),
         ]
         baseline = "siloz-1024"
     comparison = perf_experiment(
@@ -137,6 +155,7 @@ def _cmd_health(args: argparse.Namespace) -> int:
             seed=args.seed,
             storm_errors=args.storm_errors,
             interval=args.interval,
+            backend=args.backend,
         )
     except FaultPlanError as exc:
         print(f"repro health: invalid fault plan: {exc}", file=sys.stderr)
@@ -172,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Siloz (SOSP 2023) reproduction toolkit",
     )
     parser.add_argument("--seed", type=int, default=0, help="global RNG seed")
+    parser.add_argument(
+        "--backend",
+        choices=("scalar", "batched"),
+        default="scalar",
+        help="simulation hot path: 'scalar' reference or 'batched' engine "
+        "(identical results, see README Performance)",
+    )
     parser.add_argument(
         "-v",
         "--verbose",

@@ -23,12 +23,18 @@ geometry exercises every branch.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.dram.geometry import DRAMGeometry
 from repro.dram.media import MediaAddress
 from repro.errors import MappingError
 from repro.units import CACHE_LINE, MiB, is_aligned
+
+#: Entries kept in each per-mapping decode LRU.  Sized for the working
+#: sets of the perf experiments (thousands of distinct cache lines) while
+#: bounding memory on adversarial scans.
+DECODE_CACHE_SIZE = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -116,6 +122,41 @@ class SkylakeMapping:
         # Ascending sockets own ascending contiguous HPA ranges.
         bases = tuple(s * g.socket_bytes for s in range(g.sockets))
         object.__setattr__(self, "_socket_bases", bases)
+        # Hot-path memoization (repro.engine): the chunk permutation as
+        # flat lookup tables, the derived shape as plain ints (the
+        # properties recompute products on every call), and LRU-wrapped
+        # decoders bound as instance attributes.  All are pure functions
+        # of the frozen fields, so caching cannot change results — the
+        # mapping property tests verify cached == uncached.
+        n_chunks = 2 * self.chunks_per_range
+        object.__setattr__(
+            self,
+            "_phys2rg",
+            tuple(self._phys_chunk_to_rg_chunk(c) for c in range(n_chunks)),
+        )
+        object.__setattr__(
+            self,
+            "_rg2phys",
+            tuple(self._rg_chunk_to_phys_chunk(c) for c in range(n_chunks)),
+        )
+        object.__setattr__(self, "_c_chunk_bytes", self.chunk_bytes)
+        object.__setattr__(self, "_c_region_bytes", self.region_bytes)
+        object.__setattr__(self, "_c_region_rgs", self.region_row_groups)
+        object.__setattr__(self, "_c_rg_bytes", g.row_group_bytes)
+        object.__setattr__(self, "_c_banks_per_socket", g.banks_per_socket)
+        object.__setattr__(self, "_c_banks_per_channel", g.banks_per_channel)
+        object.__setattr__(self, "_c_socket_bytes", g.socket_bytes)
+        object.__setattr__(self, "_c_total_bytes", g.total_bytes)
+        object.__setattr__(
+            self,
+            "decode_cached",
+            functools.lru_cache(maxsize=DECODE_CACHE_SIZE)(self.decode),
+        )
+        object.__setattr__(
+            self,
+            "decode_flat",
+            functools.lru_cache(maxsize=DECODE_CACHE_SIZE)(self._decode_flat),
+        )
 
     @classmethod
     def for_small_geometry(cls, geom: DRAMGeometry) -> "SkylakeMapping":
@@ -198,6 +239,39 @@ class SkylakeMapping:
         col = (line // g.banks_per_socket) * CACHE_LINE + line_off
         return MediaAddress.from_socket_bank(g, socket, socket_bank, row, col)
 
+    def _decode_flat(self, hpa: int) -> tuple[int, int, int, int]:
+        """Decode to ``(socket, socket_bank, channel, row)`` without
+        building a :class:`MediaAddress` — the fields the controllers'
+        hot loops actually consume.  Exposed (LRU-cached) as
+        :meth:`decode_flat`; always agrees with :meth:`decode`."""
+        if not 0 <= hpa < self._c_total_bytes:
+            raise MappingError(
+                f"HPA {hpa:#x} outside installed memory [0, {self._c_total_bytes:#x})"
+            )
+        socket, off = divmod(hpa, self._c_socket_bytes)
+        region, roff = divmod(off, self._c_region_bytes)
+        phys_chunk, coff = divmod(roff, self._c_chunk_bytes)
+        rg_in_chunk, within = divmod(coff, self._c_rg_bytes)
+        row = (
+            region * self._c_region_rgs
+            + self._phys2rg[phys_chunk] * self.chunk_row_groups
+            + rg_in_chunk
+        )
+        socket_bank = (within // CACHE_LINE) % self._c_banks_per_socket
+        return socket, socket_bank, socket_bank // self._c_banks_per_channel, row
+
+    def decode_batch(self, hpas) -> list[MediaAddress]:
+        """Decode a vector of HPAs through the shared LRU cache."""
+        cached = self.decode_cached
+        return [cached(hpa) for hpa in hpas]
+
+    def decode_cache_info(self) -> dict[str, object]:
+        """Hit/miss statistics of both decode LRUs (perf diagnostics)."""
+        return {
+            "decode": self.decode_cached.cache_info(),
+            "flat": self.decode_flat.cache_info(),
+        }
+
     def encode(self, media: MediaAddress) -> int:
         """Exact inverse of :meth:`decode`."""
         g = self.geom
@@ -226,7 +300,7 @@ class SkylakeMapping:
         The row-group index equals the bank-local row number, so the
         group is simply row // rows_per_subarray.
         """
-        media = self.decode(hpa)
+        media = self.decode_cached(hpa)
         return media.socket, media.row // self.geom.rows_per_subarray
 
     def row_group_ranges(self, socket: int, row: int) -> list[AddressRange]:

@@ -34,6 +34,7 @@ from repro.dram.geometry import DRAMGeometry
 from repro.dram.mapping import SkylakeMapping
 from repro.dram.media import MediaAddress
 from repro.dram.trr import Trr, TrrConfig
+from repro.engine.backend import SimBackend
 from repro.errors import DramError, UncorrectableError
 from repro.units import CACHE_LINE, MS
 
@@ -90,6 +91,12 @@ class SimulatedDram:
     trr_ref_every:
         A bank receives a TRR refresh opportunity every N of its ACTs
         (the per-bank share of tREFI ticks).
+    backend:
+        :class:`~repro.engine.backend.SimBackend` (or its string value)
+        selecting the activation hot path: ``SCALAR`` is the golden
+        reference, ``BATCHED`` routes :meth:`activate_batch` through the
+        array-backed :mod:`repro.engine.batch` loop.  Both produce
+        bit-identical results (see ``tests/test_differential.py``).
     """
 
     def __init__(
@@ -104,6 +111,7 @@ class SimulatedDram:
         trr_ref_every: int = 64,
         refresh_window: float = 64 * MS,
         data_dependent_flips: bool = False,
+        backend: SimBackend | str = SimBackend.SCALAR,
     ):
         self.geom = geom
         if mapping is None:
@@ -114,7 +122,17 @@ class SimulatedDram:
         if mapping.geom is not geom:
             raise DramError("mapping and module must share a geometry")
         self.mapping = mapping
-        self.disturbance = DisturbanceModel(geom, profile, seed=seed)
+        self.backend = SimBackend.parse(backend)
+        if self.backend is SimBackend.BATCHED:
+            # Imported lazily: repro.engine.batch itself imports the
+            # disturbance layer, so a top-level import would cycle.
+            from repro.engine.batch import BatchedDisturbanceModel
+
+            self.disturbance: DisturbanceModel = BatchedDisturbanceModel(
+                geom, profile, seed=seed
+            )
+        else:
+            self.disturbance = DisturbanceModel(geom, profile, seed=seed)
         self.trr = Trr(geom, trr_config, seed=seed + 1) if trr_config else None
         self.ecc = EccEngine()
         self.counters = DramCounters()
@@ -237,6 +255,24 @@ class SimulatedDram:
                 self.counters.trr_refs += 1
                 for victim in self.trr.on_ref(socket, bank):
                     self.disturbance.on_refresh_row(socket, bank, victim)
+        return flips
+
+    def activate_batch(self, socket: int, bank: int, rows) -> list[BitFlip]:
+        """Issue a vector of ACTs to one (socket, bank).
+
+        Semantically identical to ``for row in rows: activate(...)`` —
+        on the batched backend the loop runs through the inlined
+        :func:`repro.engine.batch.run_activation_batch` fast path; on
+        the scalar backend it falls back to per-access :meth:`activate`.
+        Returns the concatenated disturbance flips."""
+        rows = rows if isinstance(rows, list) else list(rows)
+        if self.backend is SimBackend.BATCHED:
+            from repro.engine.batch import run_activation_batch
+
+            return run_activation_batch(self, socket, bank, rows)
+        flips: list[BitFlip] = []
+        for row in rows:
+            flips.extend(self.activate(socket, bank, row))
         return flips
 
     @staticmethod

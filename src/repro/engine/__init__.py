@@ -1,0 +1,16 @@
+"""Batched hot-path simulation engine (see :mod:`repro.engine.batch`).
+
+``SimBackend`` selects between the scalar golden-reference path and the
+batched fast path; ``run_activation_batch`` is the vectorized ACT loop
+used by :meth:`repro.dram.module.SimulatedDram.activate_batch`.
+"""
+
+from repro.engine.backend import BackendError, SimBackend
+from repro.engine.batch import BatchedDisturbanceModel, run_activation_batch
+
+__all__ = [
+    "BackendError",
+    "BatchedDisturbanceModel",
+    "SimBackend",
+    "run_activation_batch",
+]

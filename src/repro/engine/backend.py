@@ -1,0 +1,48 @@
+"""Simulation-backend selection for the hot activation path.
+
+Two backends drive the disturbance/TRR/refresh core of
+:class:`~repro.dram.module.SimulatedDram`:
+
+- ``SCALAR`` — the original per-access object-graph walk.  It is the
+  *golden reference*: every batched result is defined as "whatever the
+  scalar path would have produced".
+- ``BATCHED`` — the :mod:`repro.engine.batch` fast path: flat per-bank
+  ``array('d')`` pressure/threshold tables, a memoized neighbor table,
+  and an inlined per-batch loop that consumes the same RNG streams in
+  the same order as the scalar path, so flip sets, TRR decisions, ECC
+  events and health escalations are bit-for-bit identical (enforced by
+  ``tests/test_differential.py``).
+
+The enum deliberately lives in a dependency-free module so the DRAM
+layer can import it without pulling the engine implementation in.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import ReproError
+
+
+class BackendError(ReproError):
+    """An unknown simulation backend was requested."""
+
+
+class SimBackend(Enum):
+    """Which implementation services the activation hot path."""
+
+    SCALAR = "scalar"
+    BATCHED = "batched"
+
+    @classmethod
+    def parse(cls, value: "SimBackend | str") -> "SimBackend":
+        """Accept an enum member or its string name (CLI/config input)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise BackendError(
+                f"unknown simulation backend {value!r}; "
+                f"choose from {[b.value for b in cls]}"
+            ) from None

@@ -1,0 +1,317 @@
+"""The batched hot-path simulation engine.
+
+Hammer sweeps and CE-storm scenarios spend almost all of their time in
+``SimulatedDram.activate`` → ``DisturbanceModel.on_activate``: per ACT
+the scalar path recomputes the aggressor's neighbor list, walks three
+dicts keyed by (socket, bank, row) tuples, and crosses half a dozen
+Python call frames.  This module removes that overhead without changing
+a single observable bit:
+
+- :class:`BatchedDisturbanceModel` stores per-bank pressure and victim
+  thresholds in flat ``array('d')`` tables (indexed by row) and caches
+  each row's (victim, weight) spill list in a per-row memo table.
+- :func:`run_activation_batch` executes a whole vector of same-bank row
+  activations in one inlined loop: clock advance, refresh windows, fault
+  hooks, TRR sampling, disturbance spill, flip emission and TRR REF
+  ticks — the exact operation sequence of the scalar path with the
+  per-ACT call frames flattened away.
+
+**Equivalence contract.**  The scalar path is the golden reference.  The
+batched path consumes the same RNG streams (disturbance and TRR) in the
+same order, performs the same float arithmetic in the same order, and
+mutates the same module-level structures (``flips_log``, counters,
+stored data, ECC), so replaying any access sequence through either
+backend yields identical flip sets, TRR decisions, ECC events and
+health escalations.  ``tests/test_differential.py`` enforces this over
+seeded attack patterns, fault plans and workload traces.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Sequence
+
+from repro.dram.disturbance import BitFlip, DisturbanceModel, DisturbanceProfile
+from repro.dram.geometry import DRAMGeometry
+from repro.errors import DramError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (module -> engine)
+    from repro.dram.module import SimulatedDram
+
+
+class BatchedDisturbanceModel(DisturbanceModel):
+    """Array-backed disturbance state, RNG-compatible with the scalar model.
+
+    Per touched (socket, bank) the model keeps two flat ``array('d')``
+    tables indexed by bank-local row: accumulated pressure, and the
+    lazily-drawn per-victim threshold (NaN = not drawn yet).  Thresholds
+    are drawn through the same ``random.Random`` stream in the same
+    first-touch order as the scalar model's dict, so both backends see
+    identical threshold values and identical downstream flip randomness.
+    """
+
+    def __init__(
+        self,
+        geom: DRAMGeometry,
+        profile: DisturbanceProfile | None = None,
+        *,
+        seed: int = 0,
+    ):
+        super().__init__(geom, profile, seed=seed)
+        rows = geom.rows_per_bank
+        self._zeros = array("d", bytes(8 * rows))
+        self._nans = array("d", [float("nan")]) * rows
+        #: (socket, bank) -> (pressure array, threshold array)
+        self._banks: dict[tuple[int, int], tuple[array, array]] = {}
+        #: row -> tuple[(victim, weight), ...]; lazily filled memo of
+        #: the subarray-clipped spill targets (identical to _neighbors).
+        self._neighbor_table: list = [None] * rows
+
+    # ------------------------------------------------------------------
+    # Flat state
+    # ------------------------------------------------------------------
+
+    def _bank_arrays(self, socket: int, bank: int) -> tuple[array, array]:
+        key = (socket, bank)
+        got = self._banks.get(key)
+        if got is None:
+            got = (array("d", self._zeros), array("d", self._nans))
+            self._banks[key] = got
+        return got
+
+    def _neighbor_tuple(self, row: int) -> tuple:
+        nb = self._neighbor_table[row]
+        if nb is None:
+            nb = tuple(self._neighbors(row))
+            self._neighbor_table[row] = nb
+        return nb
+
+    def _add_pressure_flat(
+        self,
+        socket: int,
+        bank: int,
+        aggressor_row: int,
+        amount: float,
+        when: float,
+        press: array,
+        thresh: array,
+    ) -> list[BitFlip]:
+        """Mirror of the scalar ``_add_pressure`` over the flat tables."""
+        new_flips: list[BitFlip] = []
+        rng = self._rng
+        profile = self.profile
+        row_bits = self.geom.row_bytes * 8
+        inv_bits_mean = 1.0 / profile.flip_bits_mean
+        for victim, weight in self._neighbor_tuple(aggressor_row):
+            pressure = press[victim] + amount * weight
+            threshold = thresh[victim]
+            if threshold != threshold:  # NaN: first touch, draw like scalar
+                threshold = (
+                    rng.lognormvariate(0.0, profile.threshold_sigma)
+                    * profile.threshold_mean
+                )
+                thresh[victim] = threshold
+            while pressure >= threshold:
+                pressure -= threshold
+                n_bits = max(1, round(rng.expovariate(inv_bits_mean)))
+                for _ in range(n_bits):
+                    new_flips.append(
+                        BitFlip(
+                            socket=socket,
+                            bank=bank,
+                            row=victim,
+                            bit=rng.randrange(row_bits),
+                            aggressor_row=aggressor_row,
+                            when=when,
+                        )
+                    )
+            press[victim] = pressure
+        self.flips.extend(new_flips)
+        return new_flips
+
+    # ------------------------------------------------------------------
+    # DisturbanceModel interface (scalar-compatible overrides)
+    # ------------------------------------------------------------------
+
+    def on_activate(self, socket: int, bank: int, row: int, when: float) -> list[BitFlip]:
+        """One ACT: self-refresh the aggressor, spill unit pressure."""
+        self.geom.check_row(row)
+        press, thresh = self._bank_arrays(socket, bank)
+        press[row] = 0.0  # the ACT refreshes the activated row itself
+        return self._add_pressure_flat(socket, bank, row, 1.0, when, press, thresh)
+
+    def on_row_open_time(
+        self, socket: int, bank: int, row: int, seconds: float, when: float
+    ) -> list[BitFlip]:
+        """RowPress: extra pressure proportional to row-open time."""
+        if seconds < 0:
+            raise DramError(f"open time must be non-negative, got {seconds}")
+        amount = seconds * self.profile.effective_rowpress_rate
+        if amount == 0.0:
+            return []
+        press, thresh = self._bank_arrays(socket, bank)
+        return self._add_pressure_flat(socket, bank, row, amount, when, press, thresh)
+
+    def on_refresh_row(self, socket: int, bank: int, row: int) -> None:
+        """Targeted (TRR) refresh: drop the row's accumulated pressure."""
+        got = self._banks.get((socket, bank))
+        if got is not None:
+            got[0][row] = 0.0
+
+    def on_refresh_all(self) -> None:
+        """Full refresh window: clear every bank's pressure table."""
+        # In-place clear keeps any hoisted references to the pressure
+        # arrays (run_activation_batch locals) valid across refreshes.
+        for press, _ in self._banks.values():
+            press[:] = self._zeros
+
+    def pressure_on(self, socket: int, bank: int, row: int) -> float:
+        """Accumulated pressure on one row (test observability)."""
+        got = self._banks.get((socket, bank))
+        return got[0][row] if got is not None else 0.0
+
+
+def run_activation_batch(
+    dram: "SimulatedDram", socket: int, bank: int, rows: Sequence[int]
+) -> list[BitFlip]:
+    """Issue *rows* as one batch of ACTs to (socket, bank).
+
+    Requires the module's disturbance model to be a
+    :class:`BatchedDisturbanceModel`; callers go through
+    :meth:`SimulatedDram.activate_batch`, which dispatches on the
+    configured backend.  Every per-ACT side effect of the scalar
+    ``activate`` happens here in the same order; fault hooks still fire
+    per activation, so injected faults land mid-batch exactly as they
+    would mid-loop.
+    """
+    dist = dram.disturbance
+    if not isinstance(dist, BatchedDisturbanceModel):
+        raise DramError("run_activation_batch needs the batched backend")
+    rows = rows if isinstance(rows, list) else list(rows)
+    geom = dram.geom
+    check_row = geom.check_row
+    for row in rows:
+        check_row(row)
+
+    counters = dram.counters
+    hooks = dram._hooks
+    trr = dram.trr
+    act_s = dram.act_seconds
+    window = dram.refresh_window
+    clock = dram.clock
+    last_refresh = dram._last_full_refresh
+    bank_key = (socket, bank)
+    repairs_all = dram._repairs
+    repairs = repairs_all.get(bank_key)
+    press, thresh = dist._bank_arrays(socket, bank)
+    table = dist._neighbor_table
+    rng = dist._rng
+    profile = dist.profile
+    sigma = profile.threshold_sigma
+    mean = profile.threshold_mean
+    inv_bits_mean = 1.0 / profile.flip_bits_mean
+    row_bits = geom.row_bytes * 8
+    flips_model = dist.flips
+    apply_flips = dram._apply_internal_flips
+    out: list[BitFlip] = []
+
+    if trr is not None:
+        sampler = trr._sampler(socket, bank)
+        trr_random = trr._rng.random
+        s_counters = sampler._counters
+        cfg = trr.config
+        sampled_after = cfg.sampled_acts_after_ref
+        sample_prob = cfg.sample_prob
+        slots = cfg.slots
+        acts_since_ref = sampler._acts_since_ref
+        trr_every = dram.trr_ref_every
+        bank_acts = dram._acts_by_bank.get(bank_key, 0)
+
+    for row in rows:
+        if hooks:
+            counters.activations += 1
+        clock += act_s
+        if clock - last_refresh >= window:
+            dist.on_refresh_all()
+            last_refresh = clock
+            counters.refresh_windows += 1
+        if hooks:
+            dram.clock = clock
+            dram._last_full_refresh = last_refresh
+            for hook in hooks:
+                hook.on_activate(dram, socket, bank, row)
+            # A hook may advance time or plant a late repair; re-sync.
+            clock = dram.clock
+            last_refresh = dram._last_full_refresh
+            repairs = repairs_all.get(bank_key)
+        internal = repairs.get(row, row) if repairs else row
+
+        if trr is not None:
+            # Inlined TrrSampler.observe_maybe (same RNG short-circuit).
+            acts_since_ref += 1
+            if acts_since_ref <= sampled_after or trr_random() < sample_prob:
+                c = s_counters.get(internal)
+                if c is not None:
+                    s_counters[internal] = c + 1
+                elif len(s_counters) < slots:
+                    s_counters[internal] = 1
+                else:
+                    for tracked in list(s_counters):
+                        v = s_counters[tracked] - 1
+                        if v <= 0:
+                            del s_counters[tracked]
+                        else:
+                            s_counters[tracked] = v
+
+        # Inlined disturbance.on_activate: self-refresh, then spill.
+        press[internal] = 0.0
+        nb = table[internal]
+        if nb is None:
+            nb = dist._neighbor_tuple(internal)
+        new_flips = None
+        for victim, weight in nb:
+            pressure = press[victim] + weight  # amount == 1.0
+            threshold = thresh[victim]
+            if threshold != threshold:  # NaN: draw in scalar first-touch order
+                threshold = rng.lognormvariate(0.0, sigma) * mean
+                thresh[victim] = threshold
+            if pressure >= threshold:
+                if new_flips is None:
+                    new_flips = []
+                while pressure >= threshold:
+                    pressure -= threshold
+                    n_bits = max(1, round(rng.expovariate(inv_bits_mean)))
+                    for _ in range(n_bits):
+                        new_flips.append(
+                            BitFlip(
+                                socket=socket,
+                                bank=bank,
+                                row=victim,
+                                bit=rng.randrange(row_bits),
+                                aggressor_row=internal,
+                                when=clock,
+                            )
+                        )
+            press[victim] = pressure
+        if new_flips:
+            flips_model.extend(new_flips)
+            dram.clock = clock
+            out.extend(apply_flips(socket, bank, new_flips))
+
+        if trr is not None:
+            bank_acts += 1
+            if bank_acts % trr_every == 0:
+                counters.trr_refs += 1
+                sampler._acts_since_ref = acts_since_ref
+                for victim in trr.on_ref(socket, bank):
+                    press[victim] = 0.0
+                acts_since_ref = sampler._acts_since_ref  # 0 after take_targets
+
+    dram.clock = clock
+    dram._last_full_refresh = last_refresh
+    if not hooks:
+        counters.activations += len(rows)
+    if trr is not None:
+        sampler._acts_since_ref = acts_since_ref
+        dram._acts_by_bank[bank_key] = bank_acts
+    return out

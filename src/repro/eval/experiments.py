@@ -40,10 +40,14 @@ class SystemUnderTest:
 
 
 def baseline_system(
-    *, vm_bytes: int = DEFAULT_VM_BYTES, sockets: int = 2, seed: int = 0
+    *,
+    vm_bytes: int = DEFAULT_VM_BYTES,
+    sockets: int = 2,
+    seed: int = 0,
+    backend: str = "scalar",
 ) -> SystemUnderTest:
     """Stock Linux/KVM on the medium perf machine, with its bench VM."""
-    machine = Machine.medium(sockets=sockets, seed=seed)
+    machine = Machine.medium(sockets=sockets, seed=seed, backend=backend)
     hv = BaselineHypervisor(machine)
     vm = hv.create_vm(VmSpec(name="bench", memory_bytes=vm_bytes, vcpus=8))
     return SystemUnderTest("baseline", hv, vm)
@@ -56,10 +60,11 @@ def siloz_system(
     sockets: int = 2,
     rows_per_subarray: int | None = None,
     seed: int = 0,
+    backend: str = "scalar",
 ) -> SystemUnderTest:
     """Siloz on the same hardware; ``rows_per_subarray`` selects the
     §7.4 Siloz-512/-1024/-2048 analogues (64/128/256 at medium scale)."""
-    machine = Machine.medium(sockets=sockets, seed=seed)
+    machine = Machine.medium(sockets=sockets, seed=seed, backend=backend)
     config = SilozConfig.scaled_for(
         machine.geom, rows_per_subarray=rows_per_subarray
     )

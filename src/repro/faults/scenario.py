@@ -117,9 +117,15 @@ def run_ce_storm_scenario(
     interval: float = 0.004,
     vm_bytes: int = 2 * MiB,
     policy: HealthPolicy | None = None,
+    backend: str = "scalar",
 ) -> ScenarioResult:
-    """Run the injected CE-storm scenario end to end (see module doc)."""
-    machine = Machine.small(seed=seed)
+    """Run the injected CE-storm scenario end to end (see module doc).
+
+    ``backend`` selects the simulation hot path (scalar reference or
+    the batched engine); the transcript and replay key are
+    backend-independent — the differential tests assert exactly that.
+    """
+    machine = Machine.small(seed=seed, backend=backend)
     hv = SilozHypervisor.boot(machine)
     tenant = hv.create_vm(VmSpec(name="tenant", memory_bytes=vm_bytes))
     neighbor = hv.create_vm(VmSpec(name="neighbor", memory_bytes=vm_bytes))

@@ -17,6 +17,7 @@ from repro.dram.geometry import DRAMGeometry
 from repro.dram.mapping import SkylakeMapping
 from repro.dram.module import SimulatedDram
 from repro.dram.trr import TrrConfig
+from repro.engine.backend import SimBackend
 
 
 @dataclass
@@ -34,11 +35,14 @@ class Machine:
         *,
         profile: DisturbanceProfile | None = None,
         seed: int = 0,
+        backend: SimBackend | str = SimBackend.SCALAR,
     ) -> "Machine":
         """Table 2: dual-socket, 40 logical cores and 192 GiB per socket."""
         geom = DRAMGeometry.paper_default()
         mapping = SkylakeMapping(geom)
-        dram = SimulatedDram(geom, mapping, profile=profile, seed=seed)
+        dram = SimulatedDram(
+            geom, mapping, profile=profile, seed=seed, backend=backend
+        )
         return cls(geom=geom, mapping=mapping, dram=dram, cores_per_socket=40)
 
     @classmethod
@@ -52,6 +56,7 @@ class Machine:
         trr_config: TrrConfig | None = None,
         seed: int = 0,
         cores_per_socket: int = 4,
+        backend: SimBackend | str = SimBackend.SCALAR,
     ) -> "Machine":
         """A bit-for-bit simulatable host: 8 banks and 32 MiB per socket,
         64-row subarrays (so the scaled EPT guard block still fits inside
@@ -71,6 +76,7 @@ class Machine:
             profile=profile or DisturbanceProfile.test_scale(threshold_mean=1500.0),
             trr_config=trr_config,
             seed=seed,
+            backend=backend,
         )
         return cls(
             geom=geom,
@@ -87,6 +93,7 @@ class Machine:
         rows_per_subarray: int = 128,
         seed: int = 0,
         cores_per_socket: int = 8,
+        backend: SimBackend | str = SimBackend.SCALAR,
     ) -> "Machine":
         """The performance-experiment host: 32 banks / 256 MiB per
         socket (see :meth:`DRAMGeometry.medium`)."""
@@ -94,7 +101,7 @@ class Machine:
             sockets=sockets, rows_per_subarray=rows_per_subarray
         )
         mapping = SkylakeMapping(geom)
-        dram = SimulatedDram(geom, mapping, seed=seed)
+        dram = SimulatedDram(geom, mapping, seed=seed, backend=backend)
         return cls(
             geom=geom,
             mapping=mapping,

@@ -111,6 +111,10 @@ class VirtualMachine:
         dram = self.machine.dram
         media = dram.mapping.decode(self.translate(gpa))
         socket, bank = media.socket, media.socket_bank_index(self.machine.geom)
+        if open_seconds == 0.0:
+            # Pure ACT storms go through the batch path (engine fast
+            # path on the batched backend, plain loop on scalar).
+            return dram.activate_batch(socket, bank, [media.row] * activations)
         flips = []
         for _ in range(activations):
             flips.extend(
@@ -131,6 +135,12 @@ class VirtualMachine:
             targets.append(
                 (media.socket, media.socket_bank_index(self.machine.geom), media.row)
             )
+        banks = {(socket, bank) for socket, bank, _ in targets}
+        if len(banks) == 1 and targets:
+            # All aggressors share one bank (the TRR-evasion shape):
+            # submit the whole interleaving as one batch.
+            (socket, bank), rows = banks.pop(), [row for _, _, row in targets]
+            return dram.activate_batch(socket, bank, rows * rounds)
         flips = []
         for _ in range(rounds):
             for socket, bank, row in targets:

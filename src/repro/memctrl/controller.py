@@ -129,6 +129,10 @@ class MemoryController:
             raise MemCtrlError(f"unknown page policy {page_policy!r}")
         self.mapping = mapping
         self.geom = mapping.geom
+        # Fast decode (repro.engine): SkylakeMapping exposes an LRU-cached
+        # flat decoder; other DecodesToMedia implementations (e.g. the
+        # restricted-interleave mapping in tests) fall back to .decode.
+        self._decode_flat = getattr(mapping, "decode_flat", None)
         self.timings = timings or DDR4Timings.ddr4_2933()
         self.max_outstanding = max_outstanding
         #: "open" keeps rows in the buffer (hits possible, conflicts pay
@@ -150,6 +154,8 @@ class MemoryController:
 
         t = self.timings
         geom = self.geom
+        decode_flat = self._decode_flat
+        decode = self.mapping.decode
         banks: dict[tuple[int, int], BankState] = {}
         channels: dict[tuple[int, int], ChannelState] = {}
         in_flight: deque[float] = deque()
@@ -161,9 +167,16 @@ class MemoryController:
                 in_flight.popleft()
             if len(in_flight) >= self.max_outstanding:
                 now = in_flight.popleft()
-            media = self.mapping.decode(access.hpa)
-            bank_key = (media.socket, media.socket_bank_index(geom))
-            chan_key = (media.socket, media.channel)
+            if decode_flat is not None:
+                socket, socket_bank, channel, row = decode_flat(access.hpa)
+            else:
+                media = decode(access.hpa)
+                socket = media.socket
+                socket_bank = media.socket_bank_index(geom)
+                channel = media.channel
+                row = media.row
+            bank_key = (socket, socket_bank)
+            chan_key = (socket, channel)
             bank = banks.get(bank_key)
             if bank is None:
                 bank = banks[bank_key] = BankState()
@@ -172,12 +185,11 @@ class MemoryController:
                 chan = channels[chan_key] = ChannelState(t)
 
             start = now + chan.refresh_delay(now)
-            remote = media.socket != access.home_socket
-            if remote:
+            if socket != access.home_socket:
                 start += t.t_remote
                 result.remote_accesses += 1
             start = chan.claim_bus(start)
-            done, hit = bank.access(media.row, start, t)
+            done, hit = bank.access(row, start, t)
             if self.page_policy == "closed":
                 bank.open_row = None  # auto-precharge
 

@@ -40,34 +40,47 @@ class FrFcfsController(MemoryController):
         """Replay *trace* with first-ready-first reordering in the window."""
         t = self.timings
         geom = self.geom
+        decode_flat = self._decode_flat
         banks: dict[tuple[int, int], BankState] = {}
         channels: dict[tuple[int, int], ChannelState] = {}
         result = TraceResult()
         now = 0.0
 
-        # Pre-decode into a pending queue of (arrival, media, access).
+        # Pre-decode into a pending queue of
+        # (arrival, socket, bank_key, channel, row, access); the flat
+        # LRU-cached decoder avoids rebuilding MediaAddress objects for
+        # repeated lines (the common case in the perf traces).
         pending: deque = deque()
         arrival = 0.0
         for access in trace:
             arrival += access.cpu_gap_ns
-            pending.append((arrival, self.mapping.decode(access.hpa), access))
+            if decode_flat is not None:
+                socket, socket_bank, channel, row = decode_flat(access.hpa)
+            else:
+                media = self.mapping.decode(access.hpa)
+                socket = media.socket
+                socket_bank = media.socket_bank_index(geom)
+                channel = media.channel
+                row = media.row
+            pending.append(
+                (arrival, socket, (socket, socket_bank), channel, row, access)
+            )
         if not pending:
             raise MemCtrlError("empty trace")
 
         def issue(entry) -> None:
             nonlocal now
-            arrival_ns, media, access = entry
-            bank_key = (media.socket, media.socket_bank_index(geom))
-            chan_key = (media.socket, media.channel)
+            arrival_ns, socket, bank_key, channel, row, access = entry
+            chan_key = (socket, channel)
             bank = banks.setdefault(bank_key, BankState())
             chan = channels.setdefault(chan_key, ChannelState(t))
             start = max(now, arrival_ns)
             start += chan.refresh_delay(start)
-            if media.socket != access.home_socket:
+            if socket != access.home_socket:
                 start += t.t_remote
                 result.remote_accesses += 1
             start = chan.claim_bus(start)
-            done, hit = bank.access(media.row, start, t)
+            done, hit = bank.access(row, start, t)
             now = max(now, start)
             result.accesses += 1
             if access.kind is AccessKind.READ:
@@ -88,10 +101,9 @@ class FrFcfsController(MemoryController):
             # open row matches (first-ready), else the oldest.
             chosen = 0
             for i in range(min(self.window, len(pending))):
-                _, media, _ = pending[i]
-                bank_key = (media.socket, media.socket_bank_index(geom))
-                bank = banks.get(bank_key)
-                if bank is not None and bank.open_row == media.row:
+                entry = pending[i]
+                bank = banks.get(entry[2])
+                if bank is not None and bank.open_row == entry[4]:
                     chosen = i
                     break
             entry = pending[chosen]

@@ -1,0 +1,146 @@
+"""Differential harness: batched engine vs the scalar golden reference.
+
+The ``SimBackend.BATCHED`` fast path (:mod:`repro.engine`) is only
+admissible because it is *observationally identical* to the scalar
+path: same flip sets, same TRR decisions, same ECC events, same
+health-monitor escalations, same clocks and counters.  These tests
+enforce that contract on three levels:
+
+1. seeded mixed programs (hammer shapes + fault plans + scrubs + guest
+   I/O) through :func:`conftest.replay_program` — a handful of seeds in
+   tier1, ~50 seeds in the tier2 fuzz job (every failure names the seed
+   to replay);
+2. the end-to-end CE-storm scenario, whose transcript/replay key must
+   be backend-independent;
+3. the attack stack (fuzzer campaigns) and the memory controllers,
+   whose flat-decode fast path must match the MediaAddress reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import diff_transcripts, replay_program
+
+from repro.units import MiB
+
+
+def _assert_equivalent(seed: int) -> None:
+    scalar = replay_program("scalar", seed)
+    batched = replay_program("batched", seed)
+    problems = diff_transcripts(seed, scalar, batched)
+    assert not problems, (
+        f"backends diverged; replay with replay_program(<backend>, {seed}):\n"
+        + "\n".join(problems)
+    )
+
+
+class TestMixedPrograms:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_equivalent_small_seeds(self, seed):
+        _assert_equivalent(seed)
+
+    def test_flips_actually_happen(self):
+        # Guard against vacuous equivalence: at least one of the tier1
+        # seeds must produce disturbance flips on both backends.
+        assert any(
+            replay_program("scalar", seed)["flips"] for seed in range(8)
+        ), "differential seeds never flip a bit; raise pressure"
+
+
+@pytest.mark.tier2
+class TestDifferentialFuzz:
+    """Satellite: ~50-seed fuzz sweep (separate CI job)."""
+
+    @pytest.mark.parametrize("seed", range(100, 150))
+    def test_equivalent_fuzz_seed(self, seed):
+        _assert_equivalent(seed)
+
+
+class TestScenarioTranscripts:
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_ce_storm_replay_key_backend_independent(self, seed):
+        from repro.faults.scenario import run_ce_storm_scenario
+
+        scalar = run_ce_storm_scenario(seed=seed, backend="scalar")
+        batched = run_ce_storm_scenario(seed=seed, backend="batched")
+        assert scalar.transcript == batched.transcript, f"seed={seed}"
+        assert scalar.replay_key() == batched.replay_key()
+        assert scalar.success and batched.success
+
+
+class TestAttackStack:
+    def test_fuzzer_campaign_identical(self):
+        from repro.attack import attack_from_vm
+        from repro.core import SilozHypervisor
+        from repro.hv import Machine, VmSpec
+
+        outcomes = {}
+        logs = {}
+        for backend in ("scalar", "batched"):
+            hv = SilozHypervisor.boot(Machine.small(seed=7, backend=backend))
+            attacker = hv.create_vm(VmSpec(name="attacker", memory_bytes=2 * MiB))
+            hv.create_vm(VmSpec(name="victim", memory_bytes=2 * MiB))
+            outcomes[backend] = attack_from_vm(
+                hv, attacker, seed=7, pattern_budget=12
+            )
+            logs[backend] = hv.machine.dram.flips_log
+        assert logs["scalar"] == logs["batched"]
+        assert outcomes["scalar"].summary() == outcomes["batched"].summary()
+        assert (
+            outcomes["scalar"].report.activations
+            == outcomes["batched"].report.activations
+        )
+
+    def test_blast_radius_identical(self):
+        from repro.attack.blaster import measure_blast_radius
+        from repro.dram.disturbance import DisturbanceProfile
+        from repro.dram.geometry import DRAMGeometry
+        from repro.dram.module import SimulatedDram
+
+        geom = DRAMGeometry.small(rows_per_bank=128, rows_per_subarray=16)
+        profiles = {}
+        for backend in ("scalar", "batched"):
+            dram = SimulatedDram(
+                geom,
+                profile=DisturbanceProfile.test_scale(threshold_mean=80.0),
+                trr_config=None,
+                seed=9,
+                backend=backend,
+            )
+            profiles[backend] = measure_blast_radius(
+                dram, activations=4000
+            ).flips_by_distance
+        assert profiles["scalar"] == profiles["batched"]
+        assert profiles["scalar"], "blast measurement produced no flips"
+
+
+class TestControllerDecode:
+    """The controllers' flat-decode fast path vs the MediaAddress path."""
+
+    @pytest.mark.parametrize("cls_name", ("MemoryController", "FrFcfsController"))
+    def test_trace_results_identical(self, cls_name):
+        import random
+
+        from repro.dram.geometry import DRAMGeometry
+        from repro.dram.mapping import SkylakeMapping
+        from repro.memctrl.controller import MemoryAccess, MemoryController
+        from repro.memctrl.frfcfs import FrFcfsController
+
+        cls = {"MemoryController": MemoryController, "FrFcfsController": FrFcfsController}[cls_name]
+        geom = DRAMGeometry.small()
+        mapping = SkylakeMapping.for_small_geometry(geom)
+        rng = random.Random(11)
+        trace = [
+            MemoryAccess(
+                hpa=rng.randrange(geom.total_bytes // 64) * 64,
+                cpu_gap_ns=rng.choice((0.0, 2.0, 10.0)),
+            )
+            for _ in range(800)
+        ]
+        fast = cls(mapping)
+        assert fast._decode_flat is not None
+        slow = cls(mapping)
+        slow._decode_flat = None  # force the MediaAddress reference path
+        a, b = fast.run_trace(list(trace)), slow.run_trace(list(trace))
+        assert vars(a) == vars(b)
