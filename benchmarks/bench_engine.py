@@ -101,6 +101,64 @@ def test_engine_campaign_speedup(benchmark):
     )
 
 
+def test_engine_tracing_overhead(benchmark):
+    """Observability must be free when off and harmless when on.
+
+    - tracing enabled must not change campaign results (events are
+      derived from the simulation, never fed back into it — in
+      particular, no RNG draws);
+    - with tracing *disabled*, the instrumented hot path must stay
+      within 2 % of the same campaign measured earlier in this session
+      (the ``ENABLED``-branch-only contract of ``repro.obs``).
+    """
+    from repro import obs
+
+    TOLERANCE_PCT = 2.0
+
+    def _measure():
+        obs.disable(reset=True)
+        off_s, off_out = _time_best(lambda: _campaign("batched"), repeats=5)
+        obs.enable(reset=True)
+        on_s, on_out = _time_best(lambda: _campaign("batched"), repeats=5)
+        emitted = obs.tracer().emitted
+        obs.disable(reset=True)
+        return off_s, off_out, on_s, on_out, emitted
+
+    off_s, off_out, on_s, on_out, emitted = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    assert off_out == on_out, "tracing perturbed simulation results"
+    assert emitted > 0, "enabled tracing recorded no events"
+    # Baseline: the batched campaign time already measured this session
+    # (same code, same machine); fall back to the disabled run itself
+    # when this test runs alone.
+    base_s = _RESULTS.get("table3_containment", {}).get("batched_seconds", off_s)
+    disabled_overhead_pct = (off_s / base_s - 1.0) * 100.0
+    enabled_overhead_pct = (on_s / off_s - 1.0) * 100.0
+    print(banner("Engine: campaign with observability off/on"))
+    print(
+        f"disabled {off_s * 1e3:8.1f} ms ({disabled_overhead_pct:+.2f}% vs "
+        f"baseline)   enabled {on_s * 1e3:8.1f} ms "
+        f"({enabled_overhead_pct:+.2f}%)   {emitted} event(s)/run"
+    )
+    _record(
+        "tracing",
+        {
+            "disabled_seconds": round(off_s, 6),
+            "enabled_seconds": round(on_s, 6),
+            "disabled_overhead_pct": round(disabled_overhead_pct, 3),
+            "enabled_overhead_pct": round(enabled_overhead_pct, 3),
+            "events_per_run": emitted,
+            "tolerance_pct": TOLERANCE_PCT,
+            "identical_results": True,
+        },
+    )
+    assert disabled_overhead_pct < TOLERANCE_PCT, (
+        f"disabled tracing costs {disabled_overhead_pct:+.2f}% on the "
+        f"campaign hot path (tolerance {TOLERANCE_PCT}%); see BENCH_engine.json"
+    )
+
+
 def test_engine_decode_speedup(benchmark):
     """bench_fig5-style trace sweep: flat decode vs MediaAddress path."""
     from repro.eval.experiments import siloz_system

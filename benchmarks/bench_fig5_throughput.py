@@ -8,6 +8,7 @@ within ±0.5 % of baseline mean throughput.
 
 from conftest import banner, show_figure
 
+from repro import obs
 from repro.eval import baseline_system, perf_experiment, siloz_system
 from repro.workloads import THROUGHPUT_SUITES
 
@@ -32,9 +33,19 @@ def _run():
 
 
 def test_fig5_throughput(benchmark):
-    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    obs.enable(reset=True)
+    try:
+        comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+        snapshot = obs.metrics_snapshot()
+    finally:
+        obs.disable()
     print(banner("Figure 5: baseline-normalized throughput overhead (%)"))
-    show_figure(comparison, name="fig5_throughput", title="paper: |mean| < 0.5%")
+    show_figure(
+        comparison,
+        name="fig5_throughput",
+        title="paper: |mean| < 0.5%",
+        metrics=snapshot,
+    )
     ratio = comparison.geomean_ratio("siloz")
     print(f"geomean(siloz/baseline) = {ratio:.5f}")
     assert abs(ratio - 1.0) < 0.01

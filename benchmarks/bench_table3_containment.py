@@ -10,6 +10,7 @@ same campaign corrupts a co-located victim VM.
 
 from conftest import banner
 
+from repro import obs
 from repro.attack import attack_from_vm
 from repro.core import SilozHypervisor, audit_hypervisor
 from repro.dram.disturbance import DisturbanceProfile
@@ -48,7 +49,12 @@ def _run_fleet():
 
 
 def test_table3_siloz_containment(benchmark):
-    rows, outcomes = benchmark.pedantic(_run_fleet, rounds=1, iterations=1)
+    obs.enable(reset=True)
+    try:
+        rows, outcomes = benchmark.pedantic(_run_fleet, rounds=1, iterations=1)
+        snapshot = obs.metrics_snapshot()
+    finally:
+        obs.disable()
     print(banner("Table 3: Siloz contains bit flips to the hammering domain"))
     print(
         render_table(
@@ -60,6 +66,7 @@ def test_table3_siloz_containment(benchmark):
                 "activations",
             ],
             rows,
+            metrics=snapshot,
         )
     )
     for name, outcome in outcomes:

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare two ``BENCH_engine.json`` points and gate on regressions.
+
+CI stashes the committed ``BENCH_engine.json`` before the perf guard
+overwrites it, then runs::
+
+    python benchmarks/check_trajectory.py PREV CURRENT --max-regression 0.20
+
+The check fails (exit 1) when the current campaign speedup has dropped
+more than ``--max-regression`` (a fraction) below the previous point.
+The comparison is appended to the current file's ``trajectory`` list so
+the uploaded artifact carries the history of the run-over-run movement.
+A missing previous file or key is not an error (first run, renamed
+benchmark): the check passes and says why.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Sequence
+
+
+def load_speedup(path: pathlib.Path, key: str) -> float | None:
+    """The recorded speedup at *key*, or None when absent/unreadable."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    entry = doc.get(key)
+    if not isinstance(entry, dict):
+        return None
+    speedup = entry.get("speedup")
+    return float(speedup) if isinstance(speedup, (int, float)) else None
+
+
+def append_trajectory(path: pathlib.Path, point: dict) -> None:
+    """Record the comparison on the current file (best effort)."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return
+    doc.setdefault("trajectory", []).append(point)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous", type=pathlib.Path)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional drop in speedup (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--key",
+        default="table3_containment",
+        help="BENCH_engine.json entry whose 'speedup' is compared",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_speedup(args.current, args.key)
+    if current is None:
+        print(f"trajectory: no {args.key!r} speedup in {args.current} — FAIL")
+        return 1
+    previous = load_speedup(args.previous, args.key)
+    if previous is None:
+        print(
+            f"trajectory: no previous point ({args.previous}); "
+            f"current {args.key} speedup {current:.2f}x accepted"
+        )
+        return 0
+
+    floor = previous * (1.0 - args.max_regression)
+    ok = current >= floor
+    append_trajectory(
+        args.current,
+        {
+            "key": args.key,
+            "previous_speedup": previous,
+            "current_speedup": current,
+            "floor": round(floor, 3),
+            "max_regression": args.max_regression,
+            "ok": ok,
+        },
+    )
+    verdict = "OK" if ok else "REGRESSED"
+    print(
+        f"trajectory: {args.key} speedup {previous:.2f}x -> {current:.2f}x "
+        f"(floor {floor:.2f}x, max regression "
+        f"{args.max_regression:.0%}) — {verdict}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

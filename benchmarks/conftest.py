@@ -19,12 +19,23 @@ def banner(title: str) -> str:
     return f"\n{rule}\n{title}\n{rule}"
 
 
-def show_figure(comparison, *, name: str, baseline: str = "baseline", title: str = ""):
-    """Print table + bar chart and archive the raw data as JSON."""
+def show_figure(
+    comparison,
+    *,
+    name: str,
+    baseline: str = "baseline",
+    title: str = "",
+    metrics=None,
+):
+    """Print table + bar chart and archive the raw data as JSON.
+
+    *metrics* is an optional :func:`repro.obs.metrics_snapshot` dict;
+    when given, the figure carries a provenance footer of the counters
+    recorded while the experiment ran."""
     from repro.eval.figures import comparison_to_json, render_bars
     from repro.eval.report import render_figure
 
-    print(render_figure(comparison, baseline=baseline, title=title))
+    print(render_figure(comparison, baseline=baseline, title=title, metrics=metrics))
     print()
     print(render_bars(comparison, baseline=baseline))
     RESULTS_DIR.mkdir(exist_ok=True)

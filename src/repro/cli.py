@@ -7,7 +7,13 @@ Gives operators the paper's experiments without writing code:
 - ``perf`` — regenerate Figure 4/5/6/7 data at chosen fidelity,
 - ``overheads`` — the §3/§5.4/§6 reservation arithmetic,
 - ``health`` — the CE-storm fault-injection + live-offlining scenario,
-- ``softrefresh`` — the §8.3 deadline study.
+- ``softrefresh`` — the §8.3 deadline study,
+- ``trace`` — run a traced scenario and summarize (or differentially
+  compare) its event stream.
+
+Any command can be observed: ``--trace FILE`` writes the JSONL event
+log, ``--chrome-trace FILE`` writes a ``chrome://tracing`` file, and
+``--metrics`` dumps the metrics registry after the run.
 """
 
 from __future__ import annotations
@@ -170,6 +176,54 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 0 if result.success else 1
 
 
+def _run_traced_scenario(args: argparse.Namespace, backend: str):
+    """Run the selected ``trace`` scenario on *backend* under a fresh
+    tracer; returns (events, dropped)."""
+    from repro import obs
+
+    obs.enable(reset=True)
+    if args.scenario == "health":
+        from repro.faults import run_ce_storm_scenario
+
+        run_ce_storm_scenario(seed=args.seed, backend=backend)
+    else:  # attack
+        from repro.attack import attack_from_vm
+        from repro.core import SilozHypervisor
+        from repro.hv import Machine, VmSpec
+
+        hv = SilozHypervisor.boot(Machine.small(seed=args.seed, backend=backend))
+        attacker = hv.create_vm(VmSpec(name="attacker", memory_bytes=2 * MiB))
+        hv.create_vm(VmSpec(name="victim", memory_bytes=2 * MiB))
+        attack_from_vm(hv, attacker, seed=args.seed, pattern_budget=args.budget)
+    tr = obs.tracer()
+    return list(tr.events()), tr.dropped
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import render_summary, sequence_signature, summarize
+
+    if args.compare_backends:
+        sigs = {}
+        for backend in ("scalar", "batched"):
+            events, _ = _run_traced_scenario(args, backend)
+            sigs[backend] = sequence_signature(events)
+            print(
+                f"{backend}: {len(events)} event(s), "
+                f"{len(sigs[backend])} deterministic"
+            )
+        if sigs["scalar"] != sigs["batched"]:
+            print(
+                "trace: scalar and batched event sequences DIVERGED",
+                file=sys.stderr,
+            )
+            return 1
+        print("trace: scalar and batched event sequences identical")
+        return 0
+    events, dropped = _run_traced_scenario(args, args.backend)
+    print(render_summary(summarize(events), dropped=dropped))
+    return 0
+
+
 def _cmd_softrefresh(args: argparse.Namespace) -> int:
     from repro.core.softrefresh import RefreshScheme, compare_schemes
 
@@ -204,6 +258,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream library logs (boot, placement, attacks, MCEs)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record the run's trace events as JSON Lines to FILE",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="FILE",
+        default=None,
+        help="record the run as a chrome://tracing / Perfetto JSON file",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry after the command finishes",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="show simulated hardware and topology")
@@ -237,6 +308,25 @@ def build_parser() -> argparse.ArgumentParser:
     refresh = sub.add_parser("softrefresh", help="§8.3 deadline study")
     refresh.add_argument("--duration", type=float, default=30.0, help="seconds")
 
+    trace = sub.add_parser(
+        "trace", help="run a traced scenario; summarize or compare backends"
+    )
+    trace.add_argument(
+        "--scenario",
+        choices=("health", "attack"),
+        default="health",
+        help="which scenario to trace",
+    )
+    trace.add_argument(
+        "--budget", type=int, default=10, help="fuzzer patterns (attack scenario)"
+    )
+    trace.add_argument(
+        "--compare-backends",
+        action="store_true",
+        help="run the scenario on both backends and fail if the "
+        "deterministic event sequences differ",
+    )
+
     return parser
 
 
@@ -247,6 +337,7 @@ _HANDLERS = {
     "overheads": _cmd_overheads,
     "health": _cmd_health,
     "softrefresh": _cmd_softrefresh,
+    "trace": _cmd_trace,
 }
 
 
@@ -257,4 +348,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.log import enable_console_logging
 
         enable_console_logging()
-    return _HANDLERS[args.command](args)
+    observing = bool(args.trace or args.chrome_trace or args.metrics)
+    if observing or args.command == "trace":
+        from repro import obs
+
+        obs.enable(reset=True)
+    code = _HANDLERS[args.command](args)
+    if observing:
+        from repro import obs
+        from repro.obs.export import write_chrome_trace, write_jsonl
+
+        tr = obs.tracer()
+        events = list(tr.events()) if tr is not None else []
+        if args.trace:
+            n = write_jsonl(args.trace, events)
+            print(f"trace: wrote {n} event(s) to {args.trace}")
+        if args.chrome_trace:
+            n = write_chrome_trace(args.chrome_trace, events)
+            print(f"trace: wrote {n} timeline event(s) to {args.chrome_trace}")
+        if args.metrics:
+            print(obs.render_metrics())
+        obs.disable()
+    return code

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.dram.geometry import DRAMGeometry
 from repro.dram.mapping import AddressRange, SkylakeMapping
 from repro.dram.transforms import RepairMap, TransformConfig
@@ -230,6 +231,28 @@ def offline_row_group_live(
     policy = policy or MigrationPolicy()
     dram = hv.machine.dram
     report = MigrationReport(socket=socket, row=row)
+    with obs.span("remediation.offline_row_group_live", sim_when=dram.clock):
+        _offline_row_group_live(hv, report, dram, socket, row, reason, policy)
+    report.violations = audit_hypervisor(hv)
+    if obs.ENABLED:
+        obs.emit(
+            obs.RemediationEvent(
+                socket=socket,
+                row=row,
+                migrated=len(report.migrated),
+                deferred=len(report.deferred),
+                offlined_bytes=report.offlined_bytes,
+                when=dram.clock,
+            )
+        )
+    _log.info("%s", report.summary())
+    return report
+
+
+def _offline_row_group_live(
+    hv, report: MigrationReport, dram, socket: int, row: int,
+    reason: OfflineReason, policy: MigrationPolicy,
+) -> None:
     for rg in hv.machine.mapping.row_group_ranges(socket, row):
         if hv.offline.is_offline(rg.start) and hv.offline.is_offline(rg.end - 1):
             report.already_offline = True
@@ -277,9 +300,6 @@ def offline_row_group_live(
             )
         else:
             report.offlined_bytes += hv.offline.offline_retired(node, rg, reason)
-    report.violations = audit_hypervisor(hv)
-    _log.info("%s", report.summary())
-    return report
 
 
 def apply_remediation(hv, items: list[RemediationItem]) -> int:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro import obs
 from repro.errors import DramError
 
 #: Bits per ECC codeword (data portion).
@@ -127,6 +128,18 @@ class EccEngine:
             )
             self.stats.record(event)
             events.append(event)
+            if obs.ENABLED:
+                obs.emit(
+                    obs.EccWordEvent(
+                        socket=socket,
+                        bank=bank,
+                        row=row,
+                        word=word,
+                        outcome=outcome.value,
+                        flipped_bits=count,
+                        when=when,
+                    )
+                )
             for listener in self._listeners:
                 listener(event)
         return events

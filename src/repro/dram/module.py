@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.dram.disturbance import BitFlip, DisturbanceModel, DisturbanceProfile
 from repro.dram.ecc import EccEngine, EccEvent, EccOutcome
 from repro.dram.geometry import DRAMGeometry
@@ -239,7 +240,7 @@ class SimulatedDram:
         internal = self._to_internal(socket, bank, row)
 
         if self.trr is not None:
-            self.trr.on_activate(socket, bank, internal)
+            self.trr.on_activate(socket, bank, internal, when=self.clock)
         raw = self.disturbance.on_activate(socket, bank, internal, self.clock)
         if open_seconds:
             self.clock += open_seconds
@@ -253,7 +254,7 @@ class SimulatedDram:
             self._acts_by_bank[(socket, bank)] = acts
             if acts % self.trr_ref_every == 0:
                 self.counters.trr_refs += 1
-                for victim in self.trr.on_ref(socket, bank):
+                for victim in self.trr.on_ref(socket, bank, when=self.clock):
                     self.disturbance.on_refresh_row(socket, bank, victim)
         return flips
 
@@ -266,6 +267,12 @@ class SimulatedDram:
         the scalar backend it falls back to per-access :meth:`activate`.
         Returns the concatenated disturbance flips."""
         rows = rows if isinstance(rows, list) else list(rows)
+        if obs.ENABLED:
+            obs.emit(
+                obs.ActBatchEvent(
+                    socket=socket, bank=bank, rows=len(rows), when=self.clock
+                )
+            )
         if self.backend is SimBackend.BATCHED:
             from repro.engine.batch import run_activation_batch
 
@@ -313,6 +320,18 @@ class SimulatedDram:
             self._toggle_bit(socket, bank, media_row, flip.bit)
             self.flips_log.append(media_flip)
             out.append(media_flip)
+        if obs.ENABLED and out:
+            for f in out:
+                obs.emit(
+                    obs.FlipEvent(
+                        socket=f.socket,
+                        bank=f.bank,
+                        row=f.row,
+                        bit=f.bit,
+                        aggressor_row=f.aggressor_row,
+                        when=f.when,
+                    )
+                )
         return out
 
     def _toggle_bit(self, socket: int, bank: int, row: int, bit: int) -> None:
@@ -330,6 +349,8 @@ class SimulatedDram:
             self.disturbance.on_refresh_all()
             self._last_full_refresh = self.clock
             self.counters.refresh_windows += 1
+            if obs.ENABLED:
+                obs.emit(obs.RefreshWindowEvent(when=self.clock))
 
     def acts_until_trr_ref(self, socket: int, bank: int) -> int | None:
         """ACTs remaining until this bank's next TRR REF opportunity, or

@@ -26,6 +26,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro import obs
 from repro.dram.geometry import DRAMGeometry
 
 
@@ -50,8 +51,9 @@ class TrrSampler:
         self._counters: dict[int, int] = {}
         self._acts_since_ref = 0
 
-    def observe_maybe(self, row: int) -> None:
-        """Feed one ACT to the sampler (observed per the config's rules)."""
+    def observe_maybe(self, row: int) -> bool:
+        """Feed one ACT to the sampler (observed per the config's rules).
+        Returns whether the ACT was observed (trace instrumentation)."""
         cfg = self.config
         self._acts_since_ref += 1
         observed = (
@@ -59,7 +61,7 @@ class TrrSampler:
             or self._rng.random() < cfg.sample_prob
         )
         if not observed:
-            return
+            return False
         if row in self._counters:
             self._counters[row] += 1
         elif len(self._counters) < cfg.slots:
@@ -70,6 +72,7 @@ class TrrSampler:
                 self._counters[tracked] -= 1
                 if self._counters[tracked] <= 0:
                     del self._counters[tracked]
+        return True
 
     def take_targets(self) -> list[int]:
         """Rows whose neighbours get refreshed at this REF tick."""
@@ -107,10 +110,20 @@ class Trr:
             self._samplers[key] = got
         return got
 
-    def on_activate(self, socket: int, bank: int, row: int) -> None:
-        self._sampler(socket, bank).observe_maybe(row)
+    def on_activate(
+        self, socket: int, bank: int, row: int, *, when: float | None = None
+    ) -> None:
+        """Feed one ACT on (socket, bank, row) to that bank's sampler;
+        emits a trace event when the sampler observed it."""
+        observed = self._sampler(socket, bank).observe_maybe(row)
+        if obs.ENABLED and observed:
+            obs.emit(
+                obs.TrrSampleEvent(socket=socket, bank=bank, row=row, when=when)
+            )
 
-    def on_ref(self, socket: int, bank: int) -> list[int]:
+    def on_ref(
+        self, socket: int, bank: int, *, when: float | None = None
+    ) -> list[int]:
         """REF tick for one bank; returns victim rows to refresh (the
         neighbours of sampled aggressors), clipped to the bank."""
         targets = self._sampler(socket, bank).take_targets()
@@ -121,4 +134,14 @@ class Trr:
                 if victim != row and 0 <= victim < self.geom.rows_per_bank:
                     victims.append(victim)
         self.neighbor_refreshes += len(victims)
+        if obs.ENABLED:
+            obs.emit(
+                obs.TrrRefEvent(
+                    socket=socket,
+                    bank=bank,
+                    targets=len(targets),
+                    victims=len(victims),
+                    when=when,
+                )
+            )
         return victims

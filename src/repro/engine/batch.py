@@ -31,6 +31,7 @@ from __future__ import annotations
 from array import array
 from typing import TYPE_CHECKING, Sequence
 
+from repro import obs
 from repro.dram.disturbance import BitFlip, DisturbanceModel, DisturbanceProfile
 from repro.dram.geometry import DRAMGeometry
 from repro.errors import DramError
@@ -214,6 +215,12 @@ def run_activation_batch(
     flips_model = dist.flips
     apply_flips = dram._apply_internal_flips
     out: list[BitFlip] = []
+    # Observability: one module-attribute read per batch, then a local
+    # bool per ACT — the zero-cost-when-disabled contract of repro.obs.
+    # Event payloads and ordering mirror the scalar path exactly, so
+    # traces are backend-independent (tests/test_obs.py asserts this).
+    trace_on = obs.ENABLED
+    emit = obs.emit
 
     if trr is not None:
         sampler = trr._sampler(socket, bank)
@@ -235,6 +242,8 @@ def run_activation_batch(
             dist.on_refresh_all()
             last_refresh = clock
             counters.refresh_windows += 1
+            if trace_on:
+                emit(obs.RefreshWindowEvent(when=clock))
         if hooks:
             dram.clock = clock
             dram._last_full_refresh = last_refresh
@@ -262,6 +271,12 @@ def run_activation_batch(
                             del s_counters[tracked]
                         else:
                             s_counters[tracked] = v
+                if trace_on:
+                    emit(
+                        obs.TrrSampleEvent(
+                            socket=socket, bank=bank, row=internal, when=clock
+                        )
+                    )
 
         # Inlined disturbance.on_activate: self-refresh, then spill.
         press[internal] = 0.0
@@ -303,7 +318,7 @@ def run_activation_batch(
             if bank_acts % trr_every == 0:
                 counters.trr_refs += 1
                 sampler._acts_since_ref = acts_since_ref
-                for victim in trr.on_ref(socket, bank):
+                for victim in trr.on_ref(socket, bank, when=clock):
                     press[victim] = 0.0
                 acts_since_ref = sampler._acts_since_ref  # 0 after take_targets
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.config import SilozConfig
 from repro.core.siloz import SilozHypervisor
 from repro.errors import ReproError
@@ -132,20 +133,21 @@ def perf_experiment(
         raise ReproError(f"unknown metric {metric!r}")
     comparison = PerfComparison(metric=metric)
     for workload in workloads:
-        for system in systems:
-            for trial in range(trials):
-                result = run_in_vm(
-                    system.hv,
-                    system.vm,
-                    workload,
-                    accesses=accesses,
-                    trial=trial,
-                    controller_factory=controller_factory,
-                )
-                value = (
-                    result.execution_seconds
-                    if metric == "time"
-                    else result.bandwidth_gib_s
-                )
-                comparison.add(workload, system.name, value)
+        with obs.span(f"experiment.{workload}"):
+            for system in systems:
+                for trial in range(trials):
+                    result = run_in_vm(
+                        system.hv,
+                        system.vm,
+                        workload,
+                        accesses=accesses,
+                        trial=trial,
+                        controller_factory=controller_factory,
+                    )
+                    value = (
+                        result.execution_seconds
+                        if metric == "time"
+                        else result.bandwidth_gib_s
+                    )
+                    comparison.add(workload, system.name, value)
     return comparison

@@ -8,15 +8,37 @@ regenerate every figure's content without a plotting stack.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.eval.experiments import PerfComparison
 
 
+def metrics_footer(snapshot: Mapping[str, Any]) -> str:
+    """Provenance lines for a table/figure from a metrics snapshot
+    (:func:`repro.obs.metrics_snapshot`): the counters that attest what
+    the run actually simulated."""
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    parts = [
+        f"{name}={int(v) if float(v).is_integer() else v}"
+        for name, v in sorted({**gauges, **counters}.items())
+    ]
+    if not parts:
+        return "# metrics: (none recorded)"
+    return "# metrics: " + " ".join(parts)
+
+
 def render_table(
-    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+    metrics: Mapping[str, Any] | None = None,
 ) -> str:
-    """Fixed-width table with a rule under the header."""
+    """Fixed-width table with a rule under the header.
+
+    *metrics* (a :func:`repro.obs.metrics_snapshot` dict) appends the
+    provenance footer so emitted tables carry their own evidence."""
     cells = [[str(c) for c in row] for row in rows]
     widths = [
         max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
@@ -31,6 +53,8 @@ def render_table(
     lines.append(fmt(headers))
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(fmt(row) for row in cells)
+    if metrics is not None:
+        lines.append(metrics_footer(metrics))
     return "\n".join(lines)
 
 
@@ -39,6 +63,7 @@ def render_figure(
     *,
     baseline: str = "baseline",
     title: str = "",
+    metrics: Mapping[str, Any] | None = None,
 ) -> str:
     """Per-workload overhead (%, with 95 % CI) for each non-baseline
     system, plus the geometric-mean summary row — Figure 4/5/6/7 as
@@ -59,4 +84,4 @@ def render_figure(
         ratio = comparison.geomean_ratio(system, baseline=baseline)
         summary.append(f"{(ratio - 1) * 100:+.3f}")
     rows.append(summary)
-    return render_table(headers, rows, title=title)
+    return render_table(headers, rows, title=title, metrics=metrics)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.dram.module import DramHook, SimulatedDram
 from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
 from repro.log import get_logger
@@ -128,6 +129,12 @@ class FaultInjector(DramHook):
     def _record(self, action: str, detail: str) -> None:
         event = FaultEvent(when=self.dram.clock, action=action, detail=detail)
         self.events.append(event)
+        if obs.ENABLED:
+            obs.emit(
+                obs.FaultInjectionEvent(
+                    action=action, detail=detail, when=event.when
+                )
+            )
         _log.debug("%s", event)
 
     def _fire(self, spec: FaultSpec) -> None:

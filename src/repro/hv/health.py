@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro import obs
 from repro.dram.ecc import EccEvent, EccOutcome
 from repro.errors import ReproError
 from repro.log import get_logger
@@ -189,6 +190,25 @@ class HealthMonitor:
         self.timeline.append(line)
         _log.info("%s", line)
 
+    def _transition(
+        self, rg: RowGroupHealth, new: HealthState, now: float,
+        *, old: HealthState | None = None,
+    ) -> None:
+        """Move a row group to *new*, emitting the typed trace event."""
+        previous = old if old is not None else rg.state
+        rg.state = new
+        if obs.ENABLED:
+            obs.emit(
+                obs.HealthTransitionEvent(
+                    socket=rg.socket,
+                    row=rg.row,
+                    old=previous.value,
+                    new=new.value,
+                    level=rg.level,
+                    when=now,
+                )
+            )
+
     # ------------------------------------------------------------------
     # Escalation ladder
     # ------------------------------------------------------------------
@@ -202,19 +222,19 @@ class HealthMonitor:
         if rg.level == 0.0 and rg.state in (HealthState.WATCH, HealthState.SOAK):
             if rg.state is HealthState.SOAK:
                 self._release_soak(rg)
-            rg.state = HealthState.OK
+            self._transition(rg, HealthState.OK, now)
             self._note(now, f"{where} recovered: bucket drained, back to ok")
             return
         # Escalation (sequential so one heavy event can climb several rungs).
         if rg.state is HealthState.OK and rg.level >= pol.watch_threshold:
-            rg.state = HealthState.WATCH
+            self._transition(rg, HealthState.WATCH, now)
             self._note(
                 now,
                 f"{where} -> watch (level {rg.level:.1f}, "
                 f"ce={rg.ce_count} ue={rg.ue_count})",
             )
         if rg.state is HealthState.WATCH and rg.level >= pol.soak_threshold:
-            rg.state = HealthState.SOAK
+            self._transition(rg, HealthState.SOAK, now)
             soaked = self._apply_soak(rg)
             self._note(
                 now,
@@ -267,11 +287,12 @@ class HealthMonitor:
         # row group reads it (with ECC), which emits further corrected-
         # error events that re-enter this monitor.  OFFLINED/DEFERRED
         # short-circuit _evaluate, so the re-entry is harmless.
+        before = rg.state
         rg.state = HealthState.OFFLINED
         report = offline_row_group_live(self.hv, rg.socket, rg.row)
         self.reports.append(report)
         if report.complete:
-            rg.state = HealthState.OFFLINED
+            self._transition(rg, HealthState.OFFLINED, now, old=before)
             self._note(
                 now,
                 f"row group (s{rg.socket} r{rg.row}) -> offlined: "
@@ -279,7 +300,7 @@ class HealthMonitor:
                 f"{report.offlined_bytes} bytes retired",
             )
         else:
-            rg.state = HealthState.DEFERRED
+            self._transition(rg, HealthState.DEFERRED, now, old=before)
             self._note(
                 now,
                 f"row group (s{rg.socket} r{rg.row}) -> deferred: "
@@ -303,7 +324,9 @@ class HealthMonitor:
             rg = self._group(media.socket, media.row)
             if report.complete:
                 self.hv.offline.resolve_pending(item.range)
-                rg.state = HealthState.OFFLINED
+                self._transition(
+                    rg, HealthState.OFFLINED, self.hv.machine.dram.clock
+                )
                 self._note(
                     self.hv.machine.dram.clock,
                     f"row group (s{rg.socket} r{rg.row}) deferred offline "

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.dram.mapping import AddressRange, merge_ranges
 from repro.ept.table import ExtendedPageTable
 from repro.errors import HvError, OutOfMemoryError, PlacementError
@@ -353,6 +354,16 @@ class Hypervisor:
             raise HvError(
                 f"block {old:#x} not in {vm.name!r}'s allocation ledger"
             ) from None
+        if obs.ENABLED:
+            obs.emit(
+                obs.RemapEvent(
+                    vm=vm.name,
+                    old=old,
+                    new=new,
+                    size=size,
+                    when=self.machine.dram.clock,
+                )
+            )
 
     # -- introspection ---------------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.dram.disturbance import DisturbanceProfile
 from repro.dram.geometry import DRAMGeometry
 from repro.dram.mapping import SkylakeMapping
@@ -28,6 +29,20 @@ class Machine:
     mapping: SkylakeMapping
     dram: SimulatedDram
     cores_per_socket: int = 40
+
+    def __post_init__(self) -> None:
+        # Shape gauges: covers every factory (paper/small/medium) and
+        # direct construction alike.
+        if obs.ENABLED:
+            obs.METRICS.gauge("machine.sockets").set(self.geom.sockets)
+            obs.METRICS.gauge("machine.banks_per_socket").set(
+                self.geom.banks_per_socket
+            )
+            obs.METRICS.gauge("machine.rows_per_bank").set(
+                self.geom.rows_per_bank
+            )
+            obs.METRICS.gauge("machine.total_bytes").set(self.geom.total_bytes)
+            obs.METRICS.gauge("machine.cores").set(self.total_cores)
 
     @classmethod
     def paper(

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro import obs
 from repro.errors import UncorrectableError
 from repro.log import get_logger
 from repro.hv.hypervisor import Hypervisor
@@ -69,6 +70,7 @@ class MceHandler:
         if self.hv.offline.is_offline(hpa):
             incident = MceIncident(hpa, MceOutcome.GUARD_ABSORBED, None)
             self.incidents.append(incident)
+            self._trace(incident)
             return incident
         owner = None
         for name, vm in self.hv.vms.items():
@@ -82,6 +84,7 @@ class MceHandler:
         else:
             incident = MceIncident(hpa, MceOutcome.HOST_PANIC, None)
         self.incidents.append(incident)
+        self._trace(incident)
         _log.warning(
             "uncorrectable memory error at %#x: %s%s",
             hpa,
@@ -89,6 +92,17 @@ class MceHandler:
             f" (VM {owner})" if owner else "",
         )
         return incident
+
+    def _trace(self, incident: MceIncident) -> None:
+        if obs.ENABLED:
+            obs.emit(
+                obs.MceEvent(
+                    hpa=incident.hpa,
+                    outcome=incident.outcome.value,
+                    victim_vm=incident.victim_vm,
+                    when=self.hv.machine.dram.clock,
+                )
+            )
 
     def _maybe_offline(self, hpa: int) -> None:
         if not self.offline_failed_pages:

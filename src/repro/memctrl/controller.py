@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterable, Protocol
 
+from repro import obs
 from repro.dram.geometry import DRAMGeometry
 from repro.dram.media import MediaAddress
 from repro.errors import MemCtrlError
@@ -150,6 +151,10 @@ class MemoryController:
         State (row buffers, bus occupancy) is fresh per call, so results
         are deterministic functions of the trace.
         """
+        with obs.span("memctrl.run_trace"):
+            return self._run_trace(trace)
+
+    def _run_trace(self, trace: Iterable[MemoryAccess]) -> TraceResult:
         from collections import deque
 
         t = self.timings
@@ -220,4 +225,15 @@ class MemoryController:
             raise MemCtrlError("empty trace")
         result.banks_touched = len(banks)
         result.refreshes = sum(c.refreshes for c in channels.values())
+        if obs.ENABLED:
+            obs.emit(
+                obs.MemTraceEvent(
+                    accesses=result.accesses,
+                    row_hits=result.row_hits,
+                    row_misses=result.row_misses,
+                    remote=result.remote_accesses,
+                    total_time_ns=result.total_time_ns,
+                    bytes_transferred=result.bytes_transferred,
+                )
+            )
         return result

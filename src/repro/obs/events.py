@@ -1,0 +1,222 @@
+"""Typed trace-event records for the observability layer.
+
+Every record is a frozen, slotted dataclass with a class-level ``kind``
+tag (stable wire name) and a ``deterministic`` flag.  Deterministic
+events carry only simulation-derived payloads (simulated clock, media
+coordinates, counts), so two runs of the same seed — on either
+simulation backend — emit byte-identical sequences of them; the
+differential trace tests key off exactly that.  Non-deterministic
+events (wall-clock spans) are excluded from sequence comparison.
+
+Timestamps are **simulated seconds** (``when``); events emitted from
+layers that cannot see the module clock carry ``when=None`` and the
+exporters substitute the last clock seen on the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Optional, Tuple, Type
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base record; concrete events define ``kind`` and payload fields."""
+
+    kind: ClassVar[str] = "event"
+    deterministic: ClassVar[bool] = True
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Payload fields as a plain dict (wire form, minus the tag)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class ActBatchEvent(TraceEvent):
+    """One vector of ACTs entered the activation hot path."""
+
+    kind: ClassVar[str] = "act_batch"
+    socket: int = 0
+    bank: int = 0
+    rows: int = 0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RefreshWindowEvent(TraceEvent):
+    """A full refresh window elapsed (every row refreshed)."""
+
+    kind: ClassVar[str] = "refresh_window"
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TrrSampleEvent(TraceEvent):
+    """The TRR sampler observed one ACT (Misra-Gries update)."""
+
+    kind: ClassVar[str] = "trr_sample"
+    socket: int = 0
+    bank: int = 0
+    row: int = 0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TrrRefEvent(TraceEvent):
+    """A TRR REF tick fired: sampled aggressors' neighbours refreshed."""
+
+    kind: ClassVar[str] = "trr_ref"
+    socket: int = 0
+    bank: int = 0
+    targets: int = 0
+    victims: int = 0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class EccWordEvent(TraceEvent):
+    """One non-clean SEC-DED word classification (CE/UE/silent)."""
+
+    kind: ClassVar[str] = "ecc_word"
+    socket: int = 0
+    bank: int = 0
+    row: int = 0
+    word: int = 0
+    outcome: str = ""
+    flipped_bits: int = 0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class FlipEvent(TraceEvent):
+    """One disturbance bit flip applied to stored data (media coords)."""
+
+    kind: ClassVar[str] = "flip"
+    socket: int = 0
+    bank: int = 0
+    row: int = 0
+    bit: int = 0
+    aggressor_row: int = 0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RemapEvent(TraceEvent):
+    """A backing block's EPT/IOMMU leaves were retargeted (migration)."""
+
+    kind: ClassVar[str] = "remap"
+    vm: str = ""
+    old: int = 0
+    new: int = 0
+    size: int = 0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class HealthTransitionEvent(TraceEvent):
+    """A row group moved along the health escalation ladder."""
+
+    kind: ClassVar[str] = "health_transition"
+    socket: int = 0
+    row: int = 0
+    old: str = ""
+    new: str = ""
+    level: float = 0.0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class FaultInjectionEvent(TraceEvent):
+    """The fault injector armed/fired/enforced one planned fault."""
+
+    kind: ClassVar[str] = "fault_injection"
+    action: str = ""
+    detail: str = ""
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class MceEvent(TraceEvent):
+    """A machine-check incident was classified and acted on."""
+
+    kind: ClassVar[str] = "mce"
+    hpa: int = 0
+    outcome: str = ""
+    victim_vm: Optional[str] = None
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RemediationEvent(TraceEvent):
+    """One runtime row-group offlining finished (live migration)."""
+
+    kind: ClassVar[str] = "remediation"
+    socket: int = 0
+    row: int = 0
+    migrated: int = 0
+    deferred: int = 0
+    offlined_bytes: int = 0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class MemTraceEvent(TraceEvent):
+    """A memory-controller trace replay completed (aggregates)."""
+
+    kind: ClassVar[str] = "memctrl_trace"
+    accesses: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    remote: int = 0
+    total_time_ns: float = 0.0
+    bytes_transferred: int = 0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SpanEvent(TraceEvent):
+    """A wall-clock-timed phase (non-deterministic payload)."""
+
+    kind: ClassVar[str] = "span"
+    deterministic: ClassVar[bool] = False
+    name: str = ""
+    wall_ns: int = 0
+    when: Optional[float] = None
+
+
+#: Every concrete event type, keyed by its stable wire tag.
+EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        ActBatchEvent,
+        RefreshWindowEvent,
+        TrrSampleEvent,
+        TrrRefEvent,
+        EccWordEvent,
+        FlipEvent,
+        RemapEvent,
+        HealthTransitionEvent,
+        FaultInjectionEvent,
+        MceEvent,
+        RemediationEvent,
+        MemTraceEvent,
+        SpanEvent,
+    )
+}
+
+
+def event_from_payload(kind: str, payload: Dict[str, Any]) -> TraceEvent:
+    """Rebuild a typed event from its wire form (JSONL import)."""
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise KeyError(f"unknown trace event kind {kind!r}")
+    names = {f.name for f in fields(cls)}
+    return cls(**{k: v for k, v in payload.items() if k in names})
+
+
+def signature_of(event: TraceEvent) -> Optional[Tuple[Any, ...]]:
+    """Deterministic comparison key for one event, or ``None`` for
+    events whose payload is wall-clock-derived (spans)."""
+    if not event.deterministic:
+        return None
+    return (event.kind, *(getattr(event, f.name) for f in fields(event)))

@@ -1,0 +1,64 @@
+"""Tests for the CI perf-trajectory gate (benchmarks/check_trajectory.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_PATH = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "check_trajectory.py"
+_spec = importlib.util.spec_from_file_location("check_trajectory", _PATH)
+check_trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_trajectory)
+
+
+def _bench_json(tmp_path, name: str, speedup: float | None) -> pathlib.Path:
+    path = tmp_path / name
+    doc = {"bench": "engine"}
+    if speedup is not None:
+        doc["table3_containment"] = {"speedup": speedup}
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestCheckTrajectory:
+    def test_passes_within_tolerance(self, tmp_path, capsys):
+        prev = _bench_json(tmp_path, "prev.json", 2.5)
+        cur = _bench_json(tmp_path, "cur.json", 2.1)
+        assert check_trajectory.main([str(prev), str(cur)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_fails_on_regression(self, tmp_path, capsys):
+        prev = _bench_json(tmp_path, "prev.json", 3.0)
+        cur = _bench_json(tmp_path, "cur.json", 2.0)  # -33% > 20% allowed
+        assert check_trajectory.main([str(prev), str(cur)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_custom_max_regression(self, tmp_path):
+        prev = _bench_json(tmp_path, "prev.json", 3.0)
+        cur = _bench_json(tmp_path, "cur.json", 2.0)
+        argv = [str(prev), str(cur), "--max-regression", "0.5"]
+        assert check_trajectory.main(argv) == 0
+
+    def test_missing_previous_is_not_an_error(self, tmp_path, capsys):
+        cur = _bench_json(tmp_path, "cur.json", 2.0)
+        missing = tmp_path / "nope.json"
+        assert check_trajectory.main([str(missing), str(cur)]) == 0
+        assert "no previous point" in capsys.readouterr().out
+
+    def test_missing_current_fails(self, tmp_path):
+        prev = _bench_json(tmp_path, "prev.json", 2.0)
+        empty = _bench_json(tmp_path, "cur.json", None)
+        assert check_trajectory.main([str(prev), str(empty)]) == 1
+
+    def test_appends_trajectory_point(self, tmp_path):
+        prev = _bench_json(tmp_path, "prev.json", 2.5)
+        cur = _bench_json(tmp_path, "cur.json", 2.4)
+        check_trajectory.main([str(prev), str(cur)])
+        doc = json.loads(cur.read_text())
+        (point,) = doc["trajectory"]
+        assert point["previous_speedup"] == 2.5
+        assert point["current_speedup"] == 2.4
+        assert point["ok"] is True

@@ -27,6 +27,19 @@ class TestParser:
         args = build_parser().parse_args(["--seed", "7", "info"])
         assert args.seed == 7
 
+    def test_global_observability_flags(self):
+        args = build_parser().parse_args(
+            ["--trace", "t.jsonl", "--chrome-trace", "c.json", "--metrics", "info"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.chrome_trace == "c.json"
+        assert args.metrics is True
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.scenario == "health"
+        assert args.compare_backends is False
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -69,3 +82,46 @@ class TestCommands:
                      "--accesses", "2000"]) == 0
         out = capsys.readouterr().out
         assert "siloz-512" in out and "siloz-2048" in out
+
+
+class TestObservability:
+    def test_health_writes_jsonl_trace(self, capsys, tmp_path):
+        from repro.obs.export import read_jsonl
+
+        path = tmp_path / "t.jsonl"
+        assert main(["--seed", "7", "--trace", str(path), "health"]) == 0
+        assert "trace: wrote" in capsys.readouterr().out
+        events = read_jsonl(path)
+        assert events, "health scenario emitted no events"
+        kinds = {e.kind for e in events}
+        assert "fault_injection" in kinds and "ecc_word" in kinds
+
+    def test_health_chrome_trace_is_valid_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "ct.json"
+        assert main(["--seed", "7", "--chrome-trace", str(path), "health"]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"][0]["ph"] == "M"
+
+    def test_metrics_dump(self, capsys):
+        assert main(["--seed", "7", "--metrics", "health"]) == 0
+        out = capsys.readouterr().out
+        assert "# metrics" in out
+        assert "counter faults.flip" in out
+
+    def test_trace_summary(self, capsys):
+        assert main(["--seed", "7", "trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace events:" in out and "ecc_word" in out
+
+    def test_trace_compare_backends(self, capsys):
+        assert main(["--seed", "7", "trace", "--compare-backends"]) == 0
+        out = capsys.readouterr().out
+        assert "sequences identical" in out
+
+    def test_observability_disabled_after_run(self, tmp_path):
+        from repro import obs
+
+        main(["--seed", "7", "--trace", str(tmp_path / "t.jsonl"), "health"])
+        assert obs.ENABLED is False
