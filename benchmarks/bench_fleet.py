@@ -1,0 +1,107 @@
+"""Fleet trajectory point: parallel campaign execution vs serial.
+
+Runs the same fleet campaign twice — ``workers=1`` and ``workers=N``
+(N = the scaling target's worker count) — asserts the merged reports
+are **bit-identical** (the determinism contract: per-host seeds derive
+from host ids, never pool order), then records wall times and the
+scaling speedup to ``BENCH_fleet.json`` at the repo root.
+
+The ≥2× speedup target only makes sense with cores to scale onto, so
+the assertion is gated on ``os.cpu_count() >= WORKERS``: a 1-core dev
+box records its honest (≈1×) measurement without failing, while CI's
+multi-core runners enforce the target.  The identical-results assertion
+is unconditional — it is the half of the contract that must hold
+everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.fleet import CampaignConfig, run_campaign
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_fleet.json"
+
+#: Scaling target: parallel workers the bench compares against serial.
+WORKERS = 4
+#: Minimum acceptable scaling speedup when the machine can express it.
+SCALING_TARGET = 2.0
+#: Campaign sized so per-host work dominates placement + pool overhead.
+HOSTS = 8
+VMS = 24
+BUDGET = 8
+
+_RESULTS: dict = {
+    "bench": "fleet",
+    "note": "parallel fleet campaign (workers=N) vs serial (workers=1); "
+    "merged reports must be bit-identical",
+}
+
+
+def _record(key: str, payload: dict) -> None:
+    _RESULTS[key] = payload
+    BENCH_JSON.write_text(json.dumps(_RESULTS, indent=2) + "\n")
+
+
+def _banner(title: str) -> str:
+    rule = "=" * len(title)
+    return f"\n{rule}\n{title}\n{rule}"
+
+
+def _campaign(workers: int):
+    config = CampaignConfig(
+        hosts=HOSTS, vms=VMS, budget=BUDGET, workers=workers, seed=7
+    )
+    t0 = time.perf_counter()
+    report = run_campaign(config)
+    return time.perf_counter() - t0, report
+
+
+def test_fleet_scaling() -> None:
+    cpus = os.cpu_count() or 1
+    serial_s, serial = _campaign(1)
+    parallel_s, parallel = _campaign(WORKERS)
+
+    assert serial.digest() == parallel.digest(), (
+        "workers=1 and workers=%d merged reports diverged" % WORKERS
+    )
+    assert serial.hosts_failed == 0, "campaign had host failures"
+
+    speedup = serial_s / parallel_s
+    enforced = cpus >= WORKERS
+    print(_banner(f"Fleet: {HOSTS}-host campaign, workers=1 vs workers={WORKERS}"))
+    print(
+        f"serial {serial_s * 1e3:8.1f} ms   parallel {parallel_s * 1e3:8.1f} ms"
+        f"   speedup {speedup:.2f}x "
+        f"(target >= {SCALING_TARGET}x, "
+        f"{'enforced' if enforced else f'not enforced: only {cpus} CPU(s)'})"
+    )
+    _record(
+        "fleet_campaign",
+        {
+            "serial_seconds": round(serial_s, 6),
+            "parallel_seconds": round(parallel_s, 6),
+            "speedup": round(speedup, 3),
+            "workers": WORKERS,
+            "cpu_count": cpus,
+            "target": SCALING_TARGET,
+            "target_enforced": enforced,
+            "identical_results": True,
+            "hosts": HOSTS,
+            "vms": VMS,
+            "merge_digest": serial.digest(),
+        },
+    )
+    if enforced:
+        assert speedup >= SCALING_TARGET, (
+            f"fleet scaling below target ({speedup:.2f}x < {SCALING_TARGET}x "
+            f"at {WORKERS} workers on {cpus} CPUs); see BENCH_fleet.json"
+        )
+
+
+if __name__ == "__main__":
+    test_fleet_scaling()

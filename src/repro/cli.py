@@ -9,7 +9,9 @@ Gives operators the paper's experiments without writing code:
 - ``health`` — the CE-storm fault-injection + live-offlining scenario,
 - ``softrefresh`` — the §8.3 deadline study,
 - ``trace`` — run a traced scenario and summarize (or differentially
-  compare) its event stream.
+  compare) its event stream,
+- ``fleet`` — a multi-host campaign: subarray-group-aware placement,
+  admission control, and per-host simulations sharded across workers.
 
 Any command can be observed: ``--trace FILE`` writes the JSONL event
 log, ``--chrome-trace FILE`` writes a ``chrome://tracing`` file, and
@@ -224,6 +226,32 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.errors import FleetError
+    from repro.fleet import CampaignConfig, run_campaign
+
+    try:
+        config = CampaignConfig(
+            hosts=args.hosts,
+            vms=args.vms,
+            policy=args.policy,
+            scenario=args.scenario,
+            backend=args.backend,
+            seed=args.seed,
+            workers=args.workers,
+            budget=args.budget,
+            queue_depth=args.queue_depth,
+            max_retries=args.max_retries,
+        )
+        report = run_campaign(config)
+    except FleetError as exc:
+        print(f"repro fleet: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_text())
+    print(f"merge digest: {report.digest()}")
+    return 0 if report.hosts_failed == 0 else 1
+
+
 def _cmd_softrefresh(args: argparse.Namespace) -> int:
     from repro.core.softrefresh import RefreshScheme, compare_schemes
 
@@ -327,6 +355,40 @@ def build_parser() -> argparse.ArgumentParser:
         "deterministic event sequences differ",
     )
 
+    fleet = sub.add_parser(
+        "fleet", help="multi-host placement + parallel campaign execution"
+    )
+    fleet.add_argument("--hosts", type=int, default=4, help="hosts in the fleet")
+    fleet.add_argument("--vms", type=int, default=12, help="tenant arrival trace length")
+    fleet.add_argument(
+        "--policy",
+        choices=("first-fit", "best-fit", "spread"),
+        default="best-fit",
+        help="placement scheduler",
+    )
+    fleet.add_argument(
+        "--scenario",
+        choices=("attack", "health"),
+        default="attack",
+        help="per-host campaign to run after placement",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for per-host simulation (merged results "
+        "are bit-identical at any worker count)",
+    )
+    fleet.add_argument(
+        "--budget", type=int, default=6, help="fuzzer patterns per host (attack)"
+    )
+    fleet.add_argument(
+        "--queue-depth", type=int, default=64, help="admission queue bound"
+    )
+    fleet.add_argument(
+        "--max-retries", type=int, default=2, help="placement retries before eviction"
+    )
+
     return parser
 
 
@@ -338,6 +400,7 @@ _HANDLERS = {
     "health": _cmd_health,
     "softrefresh": _cmd_softrefresh,
     "trace": _cmd_trace,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -230,9 +230,20 @@ class SilozHypervisor(Hypervisor):
             if total >= needed:
                 break
         if total < needed:
+            # Typed capacity error: how many guest nodes the request
+            # would have needed (at this host's provisioning granularity)
+            # vs how many were actually free — the fleet scheduler keys
+            # "host full" off these fields (``PlacementError.is_capacity``).
+            per_node = max(
+                (n.total_bytes for n in self.topology.nodes_of_kind(NodeKind.GUEST_RESERVED)),
+                default=self.managed_geom.subarray_group_bytes,
+            )
             raise PlacementError(
                 f"cannot reserve {spec.memory_bytes:#x} bytes of guest-"
-                f"reserved subarray groups for VM {spec.name!r}"
+                f"reserved subarray groups for VM {spec.name!r}: "
+                f"{len(free_nodes)} free group node(s) hold {total:#x} bytes",
+                requested_groups=-(-needed // per_node),
+                available_groups=len(free_nodes),
             )
         groups = frozenset(
             (self.topology.node(nid).physical_node, g)

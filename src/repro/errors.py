@@ -75,7 +75,31 @@ class HvError(ReproError):
 
 
 class PlacementError(HvError):
-    """Siloz could not honour its subarray-group placement policy."""
+    """Siloz could not honour its subarray-group placement policy.
+
+    A *capacity* failure (the host simply has too few free subarray
+    groups) carries the shortfall so fleet-level schedulers can tell
+    "host full" apart from bugs: ``requested_groups`` is the number of
+    guest-reserved nodes the VM would have needed and
+    ``available_groups`` how many were actually free.  Both are ``None``
+    for non-capacity placement failures (unknown socket, bad policy).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested_groups: int | None = None,
+        available_groups: int | None = None,
+    ):
+        super().__init__(message)
+        self.requested_groups = requested_groups
+        self.available_groups = available_groups
+
+    @property
+    def is_capacity(self) -> bool:
+        """True when this failure means "host full" rather than misuse."""
+        return self.requested_groups is not None
 
 
 class IsolationViolation(ReproError):
@@ -83,6 +107,10 @@ class IsolationViolation(ReproError):
 
     This is never raised during correct operation; it exists so tests and
     auditors can assert containment loudly instead of silently."""
+
+
+class FleetError(ReproError):
+    """Fleet-level errors (scheduling, admission, cross-host migration)."""
 
 
 class AttackError(ReproError):

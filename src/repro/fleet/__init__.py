@@ -1,0 +1,84 @@
+"""``repro.fleet`` — a multi-host fleet simulator on top of the Siloz
+single-host model.
+
+The package scales PR 0–3's one-server simulation out to a cluster:
+
+- :mod:`repro.fleet.host` — one booted host (Machine + SilozHypervisor +
+  HealthMonitor) with capacity accounting and stable per-host seeds.
+- :mod:`repro.fleet.scheduler` — pluggable subarray-group-aware VM
+  placement (first-fit / best-fit / spread).
+- :mod:`repro.fleet.admission` — bounded admission queue with
+  backpressure, retries, and typed eviction reasons.
+- :mod:`repro.fleet.migration` — cross-host live migration and
+  degraded-host evacuation (unblocks deferred offlinings).
+- :mod:`repro.fleet.driver` — parallel campaign execution with
+  deterministic merging (workers=N ≡ workers=1, bit for bit).
+- :mod:`repro.fleet.report` — the merged, digestible campaign artifact.
+"""
+
+from repro.fleet.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    RejectReason,
+    generate_arrival_trace,
+)
+from repro.fleet.driver import (
+    CampaignConfig,
+    FleetCampaign,
+    HostTask,
+    SCENARIOS,
+    run_campaign,
+    run_host_task,
+)
+from repro.fleet.host import Fleet, Host, HostSpec, derive_host_seed
+from repro.fleet.migration import (
+    MigrationError,
+    MigrationRecord,
+    evacuate_degraded,
+    migrate_vm,
+    region_extents,
+)
+from repro.fleet.report import FleetReport
+from repro.fleet.scheduler import (
+    BestFitScheduler,
+    FirstFitScheduler,
+    PlacementScheduler,
+    SCHEDULERS,
+    SpreadScheduler,
+    host_fits,
+    make_scheduler,
+    needed_bytes,
+    spec_page_aligned,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "BestFitScheduler",
+    "CampaignConfig",
+    "Fleet",
+    "FleetCampaign",
+    "FleetReport",
+    "FirstFitScheduler",
+    "Host",
+    "HostSpec",
+    "HostTask",
+    "MigrationError",
+    "MigrationRecord",
+    "PlacementScheduler",
+    "RejectReason",
+    "SCENARIOS",
+    "SCHEDULERS",
+    "SpreadScheduler",
+    "derive_host_seed",
+    "evacuate_degraded",
+    "generate_arrival_trace",
+    "host_fits",
+    "make_scheduler",
+    "migrate_vm",
+    "needed_bytes",
+    "region_extents",
+    "run_campaign",
+    "run_host_task",
+    "spec_page_aligned",
+]

@@ -1,0 +1,297 @@
+"""The fleet campaign driver: place fleet-wide, simulate per host, in
+parallel, deterministically.
+
+A :class:`FleetCampaign` runs in three phases:
+
+1. **Placement** (main process): boot the fleet, generate the seeded
+   tenant arrival trace, and push it through admission control + the
+   chosen scheduler.  Every host ends up with an ordered list of
+   admitted :class:`VmSpec`\\ s.
+2. **Campaign** (worker pool): each host's simulation — boot, replay
+   its placements, run the scenario (a Table 3-style containment
+   campaign or a CE-storm health drill) — is **sharded across a
+   multiprocessing pool**.  A host task is a pure function of
+   ``(HostSpec, vm specs, scenario)``: the host's DRAM seed derives
+   from the *host id* (:func:`~repro.fleet.host.derive_host_seed`),
+   never from worker count or pool order, so ``--workers 4`` merges
+   bit-identically with ``--workers 1``.  A worker that throws returns
+   a typed error result instead of poisoning the pool.
+3. **Merge** (main process): results are ordered by host id and folded
+   into a :class:`~repro.fleet.report.FleetReport` whose digest is the
+   determinism contract CI checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+
+from repro.errors import FleetError
+from repro.hv.hypervisor import VmSpec
+from repro.log import get_logger
+from repro.mm.numa import NodeKind
+
+from repro.fleet.admission import AdmissionController, generate_arrival_trace
+from repro.fleet.host import Fleet, Host, HostSpec, derive_host_seed
+from repro.fleet.report import FleetReport
+from repro.fleet.scheduler import make_scheduler
+
+_log = get_logger("fleet.driver")
+
+#: Scenarios a campaign can run on every host.
+SCENARIOS = ("attack", "health")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One fleet campaign, fully described (and picklable)."""
+
+    hosts: int = 4
+    vms: int = 12
+    policy: str = "best-fit"
+    scenario: str = "attack"
+    backend: str = "scalar"
+    seed: int = 0
+    workers: int = 1
+    #: Attack-scenario fuzzer patterns per host.
+    budget: int = 6
+    #: Health-scenario injected correctable errors per host.
+    storm_errors: int = 20
+    sockets: int = 1
+    queue_depth: int = 64
+    max_retries: int = 2
+    vm_sizes_mib: tuple[int, ...] = (1, 2, 2, 3, 4)
+
+    def __post_init__(self) -> None:
+        if self.hosts <= 0 or self.vms < 0:
+            raise FleetError("need at least one host and a non-negative VM count")
+        if self.workers <= 0:
+            raise FleetError("workers must be positive")
+        if self.scenario not in SCENARIOS:
+            raise FleetError(f"unknown scenario {self.scenario!r}; know {SCENARIOS}")
+
+
+@dataclass(frozen=True)
+class HostTask:
+    """Everything one worker needs to re-create and drive one host."""
+
+    spec: HostSpec
+    vm_specs: tuple[VmSpec, ...]
+    scenario: str
+    budget: int
+    storm_errors: int
+
+
+def _attack_result(host: Host, task: HostTask) -> dict:
+    """Table 3-style containment campaign from the host's first tenant."""
+    from repro.attack import attack_from_vm
+
+    vms = list(host.hv.vms.values())
+    if not vms:
+        return {"idle": True, "flips": 0, "contained": True}
+    outcome = attack_from_vm(
+        host.hv, vms[0], seed=task.spec.seed, pattern_budget=task.budget
+    )
+    return {
+        "idle": False,
+        "attacker": vms[0].name,
+        "summary": outcome.summary(),
+        "flips": len(outcome.flips_inside) + len(outcome.flips_escaped),
+        "escaped": len(outcome.flips_escaped),
+        "victim_flips": sum(outcome.victim_flips.values()),
+        "contained": outcome.contained,
+    }
+
+
+def _health_result(host: Host, task: HostTask) -> dict:
+    """CE-storm drill: inject, let the monitor escalate, record the
+    escalation transcript digest (backend-independent, PR 1)."""
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
+    from repro.hv.health import HealthState
+
+    vms = list(host.hv.vms.values())
+    if not vms:
+        return {"idle": True, "offlined": False, "migrated_blocks": 0}
+    dram = host.hv.machine.dram
+    geom = host.hv.machine.geom
+    media = dram.mapping.decode(vms[0].backing[0].start)
+    interval = 0.004
+    plan = FaultPlan.ce_storm(
+        media.socket,
+        media.socket_bank_index(geom),
+        media.row,
+        errors=task.storm_errors,
+        words_per_row=geom.row_bytes * 8 // 64,
+        start=dram.clock + interval,
+        interval=interval,
+        seed=task.spec.seed,
+    )
+    injector = FaultInjector(dram, plan).attach()
+    for _ in range(task.storm_errors + 2):
+        dram.advance_time(interval)
+        dram.patrol_scrub()
+    host.monitor.poll()
+    injector.detach()
+    timeline = "\n".join(host.monitor.timeline)
+    return {
+        "idle": False,
+        "target": [media.socket, media.row],
+        "offlined": host.monitor.state_of(media.socket, media.row)
+        is HealthState.OFFLINED,
+        "migrated_blocks": sum(len(r.migrated) for r in host.monitor.reports),
+        "deferred_blocks": sum(len(r.deferred) for r in host.monitor.reports),
+        "timeline_digest": hashlib.sha256(timeline.encode()).hexdigest(),
+    }
+
+
+def run_host_task(task: HostTask) -> dict:
+    """Worker entry point: boot the host, replay its placements, run the
+    scenario.  **Pure** in ``task`` — same task, same result dict, in any
+    process.  Exceptions become a typed error result (graceful worker
+    failure: one sick host must not kill the campaign)."""
+    try:
+        host = Host.boot(task.spec)
+        for spec in task.vm_specs:
+            host.create_vm(spec)
+        if task.scenario == "attack":
+            payload = _attack_result(host, task)
+        elif task.scenario == "health":
+            payload = _health_result(host, task)
+        else:
+            raise FleetError(f"unknown scenario {task.scenario!r}")
+        host.assert_isolation()
+        return {
+            "host_id": task.spec.host_id,
+            "ok": True,
+            "seed": task.spec.seed,
+            "vms": [s.name for s in task.vm_specs],
+            "placed_bytes": sum(s.memory_bytes for s in task.vm_specs),
+            "scenario": task.scenario,
+            **payload,
+        }
+    except Exception as exc:  # noqa: BLE001 — workers must not die silently
+        return {
+            "host_id": task.spec.host_id,
+            "ok": False,
+            "vms": [s.name for s in task.vm_specs],
+            "placed_bytes": 0,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+class FleetCampaign:
+    """Placement + per-host simulation + deterministic merge."""
+
+    def __init__(self, config: CampaignConfig):
+        self.config = config
+        self.fleet: Fleet | None = None
+        self.admission: AdmissionController | None = None
+
+    # ------------------------------------------------------------------
+    # Phase 1: placement
+    # ------------------------------------------------------------------
+
+    def place(self) -> Fleet:
+        """Boot the fleet and drive the arrival trace through admission."""
+        cfg = self.config
+        self.fleet = Fleet.boot(
+            cfg.hosts, seed=cfg.seed, sockets=cfg.sockets, backend=cfg.backend
+        )
+        self.guest_capacity_bytes = sum(
+            n.total_bytes
+            for h in self.fleet.hosts
+            for n in h.hv.topology.nodes_of_kind(NodeKind.GUEST_RESERVED)
+        )
+        scheduler = make_scheduler(cfg.policy)
+        self.admission = AdmissionController(
+            self.fleet,
+            scheduler,
+            queue_depth=cfg.queue_depth,
+            max_retries=cfg.max_retries,
+        )
+        trace = generate_arrival_trace(
+            cfg.seed, cfg.vms, sizes_mib=cfg.vm_sizes_mib, sockets=cfg.sockets
+        )
+        for spec in trace:
+            if not self.admission.submit(spec):
+                # Backpressure hit: let the queue drain, then resubmit
+                # once (a second full-queue rejection is final).
+                self.admission.drain()
+                self.admission.submit(spec)
+        self.admission.drain()
+        self.fleet.assert_isolation()
+        return self.fleet
+
+    # ------------------------------------------------------------------
+    # Phase 2 + 3: sharded simulation, deterministic merge
+    # ------------------------------------------------------------------
+
+    def tasks(self) -> list[HostTask]:
+        """Picklable per-host work items: each host's spec plus its
+        admitted VM specs in placement order."""
+        if self.fleet is None:
+            raise FleetError("place() must run before tasks()")
+        cfg = self.config
+        return [
+            HostTask(
+                spec=h.spec,
+                vm_specs=tuple(h.vm_specs.values()),
+                scenario=cfg.scenario,
+                budget=cfg.budget,
+                storm_errors=cfg.storm_errors,
+            )
+            for h in self.fleet.hosts
+        ]
+
+    def run(self) -> FleetReport:
+        """Place (if not already placed), execute every host task, and
+        merge the results in host-id order into the campaign report."""
+        cfg = self.config
+        if self.fleet is None:
+            self.place()
+        tasks = self.tasks()
+        results = self._execute(tasks, cfg.workers)
+        assert self.admission is not None
+        report = FleetReport.build(
+            config=cfg,
+            decisions=list(self.admission.decisions),
+            host_results=sorted(results, key=lambda r: r["host_id"]),
+            guest_capacity_bytes=self.guest_capacity_bytes,
+        )
+        report.fold_into_metrics()
+        _log.info("fleet campaign: %s", report.headline())
+        return report
+
+    @staticmethod
+    def _execute(tasks: list[HostTask], workers: int) -> list[dict]:
+        """Run every host task, serially or across a process pool.
+
+        Both paths call the same :func:`run_host_task`, so the merged
+        results are identical by construction; the pool only changes
+        wall-clock time.
+        """
+        if workers <= 1 or len(tasks) <= 1:
+            return [run_host_task(t) for t in tasks]
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+            return pool.map(run_host_task, tasks)
+
+
+def run_campaign(config: CampaignConfig) -> FleetReport:
+    """One-call convenience used by the CLI and the scaling bench."""
+    return FleetCampaign(config).run()
+
+
+__all__ = [
+    "CampaignConfig",
+    "FleetCampaign",
+    "HostTask",
+    "SCENARIOS",
+    "derive_host_seed",
+    "run_campaign",
+    "run_host_task",
+]

@@ -1,0 +1,202 @@
+"""Merged fleet campaign results, folded into ``repro.obs``.
+
+A :class:`FleetReport` is the deterministic artifact a campaign
+produces: the admission decisions (in arrival order), the per-host
+simulation results (in host-id order), and the derived fleet metrics.
+Its :meth:`digest` hashes a canonical JSON form — the workers=1 vs
+workers=N bit-identity criterion compares exactly this digest, and the
+CI ``fleet-smoke`` job does the same across backends for the placement
+half of the report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro import obs
+
+from repro.fleet.admission import AdmissionDecision
+
+
+def _decision_dict(d: AdmissionDecision) -> dict:
+    return {
+        "vm": d.vm,
+        "outcome": d.outcome,
+        "host": d.host_id,
+        "reason": d.reason.value if d.reason else "",
+        "attempts": d.attempts,
+    }
+
+
+@dataclass
+class FleetReport:
+    """Everything one campaign produced, in canonical order."""
+
+    config: dict
+    decisions: list[dict]
+    host_results: list[dict]
+    guest_capacity_bytes: int
+    placed_bytes: int
+    acceptance_rate: float
+    rejected_by_reason: dict[str, int] = field(default_factory=dict)
+    migrations: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        config,
+        decisions: list[AdmissionDecision],
+        host_results: list[dict],
+        guest_capacity_bytes: int,
+        migrations: list[dict] | None = None,
+    ) -> "FleetReport":
+        admitted = [d for d in decisions if d.admitted]
+        rejected: dict[str, int] = {}
+        for d in decisions:
+            if not d.admitted and d.reason is not None:
+                rejected[d.reason.value] = rejected.get(d.reason.value, 0) + 1
+        # Admitted bytes are re-derivable from the per-host VM lists; the
+        # decisions don't carry sizes, so sum what the hosts report.
+        placed_bytes = sum(r.get("placed_bytes", 0) for r in host_results)
+        return cls(
+            config=_config_dict(config),
+            decisions=[_decision_dict(d) for d in decisions],
+            host_results=host_results,
+            guest_capacity_bytes=guest_capacity_bytes,
+            placed_bytes=placed_bytes,
+            acceptance_rate=(len(admitted) / len(decisions)) if decisions else 0.0,
+            rejected_by_reason=rejected,
+            migrations=list(migrations or []),
+        )
+
+    # ------------------------------------------------------------------
+    # Determinism contract
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Canonical plain-data form (what :meth:`digest` hashes)."""
+        return {
+            "config": self.config,
+            "decisions": self.decisions,
+            "hosts": self.host_results,
+            "migrations": self.migrations,
+            "guest_capacity_bytes": self.guest_capacity_bytes,
+            "placed_bytes": self.placed_bytes,
+            "acceptance_rate": self.acceptance_rate,
+            "rejected_by_reason": self.rejected_by_reason,
+        }
+
+    def digest(self) -> str:
+        """sha256 over the canonical JSON form; the merge-determinism
+        contract (same seed + scenario => same digest at any worker
+        count, on either backend for the placement/decision half).
+
+        The worker count and the engine backend are execution details,
+        not results (the differential engine guarantees bit-identical
+        outcomes), so both are scrubbed from the hashed form — that is
+        precisely what lets ``--workers 4`` compare equal to
+        ``--workers 1`` and ``--backend batched`` to scalar.
+        """
+        doc = self.to_json()
+        doc["config"] = {
+            k: v for k, v in doc["config"].items() if k not in ("workers", "backend")
+        }
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+
+    @property
+    def hosts_ok(self) -> int:
+        return sum(1 for r in self.host_results if r.get("ok"))
+
+    @property
+    def hosts_failed(self) -> int:
+        return len(self.host_results) - self.hosts_ok
+
+    @property
+    def utilization(self) -> float:
+        if self.guest_capacity_bytes == 0:
+            return 0.0
+        return self.placed_bytes / self.guest_capacity_bytes
+
+    def headline(self) -> str:
+        """One-line summary (logged at campaign end)."""
+        return (
+            f"{len(self.host_results)} host(s), "
+            f"{sum(1 for d in self.decisions if d['outcome'] == 'admitted')}"
+            f"/{len(self.decisions)} admitted "
+            f"({self.acceptance_rate:.0%}), "
+            f"utilization {self.utilization:.0%}, "
+            f"{self.hosts_failed} host failure(s)"
+        )
+
+    def render_text(self) -> str:
+        """The CLI's human-readable campaign report."""
+        lines = [
+            "fleet campaign report",
+            f"  {self.headline()}",
+            f"  policy={self.config.get('policy')} "
+            f"scenario={self.config.get('scenario')} "
+            f"backend={self.config.get('backend')} "
+            f"seed={self.config.get('seed')}",
+        ]
+        if self.rejected_by_reason:
+            parts = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.rejected_by_reason.items())
+            )
+            lines.append(f"  rejections: {parts}")
+        for r in self.host_results:
+            if r.get("ok"):
+                extra = ""
+                if r.get("scenario") == "attack" and not r.get("idle"):
+                    extra = (
+                        f" flips={r['flips']} escaped={r['escaped']} "
+                        f"contained={r['contained']}"
+                    )
+                elif r.get("scenario") == "health" and not r.get("idle"):
+                    extra = (
+                        f" offlined={r['offlined']} "
+                        f"migrated_blocks={r['migrated_blocks']}"
+                    )
+                lines.append(
+                    f"  host {r['host_id']}: ok vms={len(r.get('vms', []))}{extra}"
+                )
+            else:
+                lines.append(f"  host {r['host_id']}: FAILED ({r.get('error')})")
+        if self.migrations:
+            for m in self.migrations:
+                lines.append(
+                    f"  migration: {m['vm']} host {m['src_host']} -> "
+                    f"host {m['dst_host']} ({m['bytes_copied']} bytes)"
+                )
+        return "\n".join(lines)
+
+    def fold_into_metrics(self) -> None:
+        """Publish the fleet-level rollups as gauges in ``repro.obs``
+        (the per-event counters are folded as events were emitted)."""
+        if not obs.ENABLED:
+            return
+        obs.METRICS.gauge("fleet.hosts").set(float(len(self.host_results)))
+        obs.METRICS.gauge("fleet.hosts_failed").set(float(self.hosts_failed))
+        obs.METRICS.gauge("fleet.acceptance_rate").set(self.acceptance_rate)
+        obs.METRICS.gauge("fleet.utilization").set(self.utilization)
+
+
+def _config_dict(config) -> dict:
+    """Canonical plain-dict form of a CampaignConfig (or a dict)."""
+    if isinstance(config, dict):
+        return dict(config)
+    from dataclasses import asdict
+
+    out = asdict(config)
+    out["vm_sizes_mib"] = list(out["vm_sizes_mib"])
+    return out
+
+
+__all__ = ["FleetReport"]

@@ -14,10 +14,16 @@
 from repro.hv.machine import Machine
 from repro.hv.memory_types import MemoryRegion, MemoryRegionKind
 from repro.hv.vm import VirtualMachine
-from repro.hv.hypervisor import BaselineHypervisor, Hypervisor, VmSpec
+from repro.hv.hypervisor import (
+    BaselineHypervisor,
+    CapacitySnapshot,
+    Hypervisor,
+    VmSpec,
+)
 
 __all__ = [
     "BaselineHypervisor",
+    "CapacitySnapshot",
     "Hypervisor",
     "Machine",
     "MemoryRegion",

@@ -30,6 +30,40 @@ from repro.units import PAGE_2M, PAGE_4K
 
 
 @dataclass(frozen=True)
+class CapacitySnapshot:
+    """Read-only capacity picture of one host (``Hypervisor.capacity()``).
+
+    The fleet scheduler packs VMs against this instead of poking at live
+    allocator state, and ``repro health`` can print it as a one-line
+    utilization summary.  ``free_guest_node_ids`` are guest-reserved
+    nodes not reserved by any VM (the only nodes a new tenant may be
+    placed on — one tenant per subarray group, §5.1/§5.2);
+    ``free_bytes_by_node`` covers *every* node so host/EPT headroom is
+    visible too.
+    """
+
+    #: Guest-reserved node ids with no VM reservation, ascending.
+    free_guest_node_ids: tuple[int, ...]
+    #: node id -> free bytes (all nodes, including host/EPT-reserved).
+    free_bytes_by_node: dict[int, int]
+    #: Total guest-reserved nodes provisioned on the host.
+    total_guest_nodes: int
+    #: Bytes offlined as EPT guard rows (§5.4).
+    guard_row_bytes: int
+    #: Bytes offlined for any reason (guards, remediation, CE storms).
+    offlined_bytes: int
+    #: VMs currently holding reservations (running or shut down).
+    vm_count: int
+    #: The host's backing page size (the §4.2 alignment constraint).
+    backing_page_bytes: int
+
+    @property
+    def free_guest_bytes(self) -> int:
+        """Allocatable bytes across unreserved guest nodes."""
+        return sum(self.free_bytes_by_node[n] for n in self.free_guest_node_ids)
+
+
+@dataclass(frozen=True)
 class VmSpec:
     """What a tenant asks for."""
 
@@ -366,6 +400,33 @@ class Hypervisor:
             )
 
     # -- introspection ---------------------------------------------------
+
+    def capacity(self) -> CapacitySnapshot:
+        """Read-only snapshot of this host's placement capacity.
+
+        Cheap (no allocation, no DRAM access) and safe to call at any
+        point in the VM lifecycle; the fleet scheduler calls it per
+        placement decision.
+        """
+        from repro.mm.offline import OfflineReason
+
+        reserved: set[int] = set()
+        for vm in self.vms.values():
+            reserved.update(vm.node_ids)
+        free_guest = tuple(
+            n.node_id
+            for n in self.topology.nodes_of_kind(NodeKind.GUEST_RESERVED)
+            if n.node_id not in reserved
+        )
+        return CapacitySnapshot(
+            free_guest_node_ids=free_guest,
+            free_bytes_by_node={n.node_id: n.free_bytes for n in self.topology.nodes},
+            total_guest_nodes=len(self.topology.nodes_of_kind(NodeKind.GUEST_RESERVED)),
+            guard_row_bytes=self.offline.total_bytes(OfflineReason.GUARD_ROW),
+            offlined_bytes=self.offline.total_bytes(),
+            vm_count=len(self.vms),
+            backing_page_bytes=self.backing_page_bytes,
+        )
 
     def vm(self, name: str) -> VirtualMachine:
         try:

@@ -29,6 +29,7 @@ from typing import Optional
 
 from repro.obs.events import (  # noqa: F401  (public re-exports)
     ActBatchEvent,
+    AdmissionEvent,
     EccWordEvent,
     EVENT_TYPES,
     FaultInjectionEvent,
@@ -36,6 +37,7 @@ from repro.obs.events import (  # noqa: F401  (public re-exports)
     HealthTransitionEvent,
     MceEvent,
     MemTraceEvent,
+    PlacementEvent,
     RefreshWindowEvent,
     RemapEvent,
     RemediationEvent,
@@ -43,6 +45,7 @@ from repro.obs.events import (  # noqa: F401  (public re-exports)
     TraceEvent,
     TrrRefEvent,
     TrrSampleEvent,
+    VmMigrationEvent,
 )
 from repro.obs.metrics import (  # noqa: F401
     COUNT_EDGES,

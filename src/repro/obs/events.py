@@ -174,6 +174,44 @@ class MemTraceEvent(TraceEvent):
 
 
 @dataclass(frozen=True)
+class PlacementEvent(TraceEvent):
+    """A fleet host admitted one VM onto guest-reserved nodes."""
+
+    kind: ClassVar[str] = "placement"
+    host: int = 0
+    vm: str = ""
+    node_count: int = 0
+    group_count: int = 0
+    bytes: int = 0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AdmissionEvent(TraceEvent):
+    """The fleet admission queue decided one tenant request."""
+
+    kind: ClassVar[str] = "admission"
+    vm: str = ""
+    outcome: str = ""  # "admitted" | "rejected"
+    reason: str = ""  # rejection reason tag, "" when admitted
+    host: int = -1  # placing host id, -1 when rejected
+    attempts: int = 1
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class VmMigrationEvent(TraceEvent):
+    """One VM moved between fleet hosts (cross-host live migration)."""
+
+    kind: ClassVar[str] = "vm_migration"
+    vm: str = ""
+    src_host: int = 0
+    dst_host: int = 0
+    bytes: int = 0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
 class SpanEvent(TraceEvent):
     """A wall-clock-timed phase (non-deterministic payload)."""
 
@@ -200,6 +238,9 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         MceEvent,
         RemediationEvent,
         MemTraceEvent,
+        PlacementEvent,
+        AdmissionEvent,
+        VmMigrationEvent,
         SpanEvent,
     )
 }

@@ -17,12 +17,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ReproError
 from repro.obs.events import (
     ActBatchEvent,
+    AdmissionEvent,
     EccWordEvent,
     FaultInjectionEvent,
     FlipEvent,
     HealthTransitionEvent,
     MceEvent,
     MemTraceEvent,
+    PlacementEvent,
     RefreshWindowEvent,
     RemapEvent,
     RemediationEvent,
@@ -30,6 +32,7 @@ from repro.obs.events import (
     TraceEvent,
     TrrRefEvent,
     TrrSampleEvent,
+    VmMigrationEvent,
 )
 
 
@@ -211,6 +214,22 @@ class MetricsRegistry:
             self.counter("memctrl.accesses").inc(event.accesses)
             self.counter("memctrl.row_hits").inc(event.row_hits)
             self.counter("memctrl.row_misses").inc(event.row_misses)
+        elif type(event) is PlacementEvent:
+            self.counter("fleet.placements").inc()
+            self.counter("fleet.placed_bytes").inc(event.bytes)
+            self.histogram("fleet.placement_nodes", COUNT_EDGES).observe(
+                event.node_count
+            )
+        elif type(event) is AdmissionEvent:
+            self.counter(f"fleet.admission.{event.outcome}").inc()
+            if event.reason:
+                self.counter(f"fleet.rejected.{event.reason}").inc()
+            self.histogram("fleet.admission_attempts", COUNT_EDGES).observe(
+                event.attempts
+            )
+        elif type(event) is VmMigrationEvent:
+            self.counter("fleet.migrations").inc()
+            self.counter("fleet.migrated_bytes").inc(event.bytes)
         elif type(event) is SpanEvent:
             self.histogram(f"span.{event.name}.wall_ns", WALL_NS_EDGES).observe(
                 event.wall_ns

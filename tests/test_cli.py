@@ -125,3 +125,59 @@ class TestObservability:
 
         main(["--seed", "7", "--trace", str(tmp_path / "t.jsonl"), "health"])
         assert obs.ENABLED is False
+
+
+class TestFleetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.hosts == 4
+        assert args.policy == "best-fit"
+        assert args.scenario == "attack"
+        assert args.workers == 1
+
+    def test_policy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--policy", "worst-fit"])
+
+    def test_small_campaign(self, capsys):
+        assert main(["--seed", "3", "fleet", "--hosts", "2", "--vms", "4",
+                     "--budget", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet campaign report" in out
+        assert "merge digest:" in out
+
+    def test_workers_merge_identically(self, capsys):
+        argv = ["--seed", "3", "fleet", "--hosts", "2", "--vms", "4",
+                "--budget", "1"]
+        assert main(argv + ["--workers", "1"]) == 0
+        one = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        two = capsys.readouterr().out
+        digest = [ln for ln in one.splitlines() if ln.startswith("merge digest")]
+        assert digest and digest == \
+            [ln for ln in two.splitlines() if ln.startswith("merge digest")]
+
+    def test_fleet_writes_jsonl_trace(self, capsys, tmp_path):
+        from repro.obs.export import read_jsonl
+
+        path = tmp_path / "fleet.jsonl"
+        assert main(["--seed", "3", "--trace", str(path), "fleet",
+                     "--hosts", "2", "--vms", "4", "--budget", "1"]) == 0
+        events = read_jsonl(path)
+        assert events
+        kinds = {e.kind for e in events}
+        assert "placement" in kinds and "admission" in kinds
+
+    def test_invalid_policy_via_config_is_reported(self, capsys):
+        # argparse catches bad --policy; a bad scenario reaching
+        # CampaignConfig must exit 2 with a readable message.
+        from repro.cli import _cmd_fleet
+        import argparse
+
+        args = argparse.Namespace(
+            hosts=1, vms=0, policy="best-fit", scenario="bogus",
+            backend="scalar", seed=0, workers=1, budget=1,
+            queue_depth=4, max_retries=1,
+        )
+        assert _cmd_fleet(args) == 2
+        assert "repro fleet" in capsys.readouterr().err
