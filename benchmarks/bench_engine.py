@@ -1,10 +1,11 @@
-"""Engine trajectory point: batched fast path vs the scalar reference.
+"""Engine trajectory point: fast backends vs the scalar reference.
 
-Times the two benchmark workloads the batched engine was built for:
+Times the two benchmark workloads the fast engines were built for:
 
 - a Table 3-style containment campaign (attack stack dominated by row
-  activations — exercises ``repro.engine.batch``), batched backend vs
-  the scalar golden reference;
+  activations — exercises ``repro.engine.batch`` and the numpy kernels
+  in ``repro.engine.vector``), batched and vectorized backends vs the
+  scalar golden reference;
 - a Figure 5-style throughput sweep (controller traces dominated by
   physical→media decode — exercises the memoized flat decode in
   ``repro.dram.mapping``), flat decode vs the MediaAddress reference.
@@ -33,12 +34,15 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
 
 #: Minimum acceptable speedups (CI fails below these).
-CAMPAIGN_TARGET = 2.0  # ISSUE target for the attack hot path
+CAMPAIGN_TARGET = 2.0  # batched over scalar (attack hot path)
+VECTOR_TARGET = 2.0  # vectorized over batched
+VECTOR_SCALAR_TARGET = 9.0  # vectorized over scalar
 DECODE_TARGET = 1.0  # regression guard: never slower than reference
 
 _RESULTS: dict = {
     "bench": "engine",
-    "note": "batched SimBackend vs scalar golden reference; see README Performance",
+    "note": "batched + vectorized SimBackends vs scalar golden reference; "
+    "see README Performance",
 }
 
 
@@ -47,10 +51,18 @@ def _record(key: str, payload: dict) -> None:
     BENCH_JSON.write_text(json.dumps(_RESULTS, indent=2) + "\n")
 
 
-def _time_best(fn, repeats: int = 3):
-    """(best wall seconds, last result) over *repeats* runs."""
+def _time_best(fn, repeats: int = 3, warmup: int = 0):
+    """(best wall seconds, last result) over *repeats* timed runs.
+
+    *warmup* extra untimed runs precede the timed ones: the first run
+    of a backend pays one-off costs (numpy import, lazy decode tables,
+    allocator growth) that best-of-N would otherwise fold into the
+    measurement on short campaigns.
+    """
     best = float("inf")
     result = None
+    for _ in range(warmup):
+        fn()
     for _ in range(repeats):
         t0 = time.perf_counter()
         result = fn()
@@ -68,36 +80,67 @@ def _campaign(backend: str, *, seed: int = 300, budget: int = 25):
 
 
 def test_engine_campaign_speedup(benchmark):
-    """bench_table3-style campaign: batched engine ≥2× over scalar."""
+    """bench_table3-style campaign across all three backends.
+
+    Gates: batched ≥2× over scalar, vectorized ≥2× over batched and
+    ≥9× over scalar — all with identical campaign outcomes and flip
+    logs, or the speedups are void."""
 
     def _measure():
-        scalar_s, scalar_out = _time_best(lambda: _campaign("scalar"))
-        batched_s, batched_out = _time_best(lambda: _campaign("batched"))
-        return scalar_s, scalar_out, batched_s, batched_out
+        scalar_s, scalar_out = _time_best(lambda: _campaign("scalar"), warmup=1)
+        batched_s, batched_out = _time_best(
+            lambda: _campaign("batched"), repeats=5, warmup=1
+        )
+        vector_s, vector_out = _time_best(
+            lambda: _campaign("vectorized"), repeats=5, warmup=1
+        )
+        return scalar_s, scalar_out, batched_s, batched_out, vector_s, vector_out
 
-    scalar_s, scalar_out, batched_s, batched_out = benchmark.pedantic(
-        _measure, rounds=1, iterations=1
+    scalar_s, scalar_out, batched_s, batched_out, vector_s, vector_out = (
+        benchmark.pedantic(_measure, rounds=1, iterations=1)
     )
-    assert scalar_out == batched_out, "backends diverged: speedup is void"
+    assert scalar_out == batched_out, "batched diverged: speedup is void"
+    assert scalar_out == vector_out, "vectorized diverged: speedup is void"
     speedup = scalar_s / batched_s
-    print(banner("Engine: Table 3-style campaign, scalar vs batched"))
+    vector_speedup = batched_s / vector_s
+    vector_scalar_speedup = scalar_s / vector_s
+    print(banner("Engine: Table 3-style campaign, scalar vs batched vs vectorized"))
     print(
         f"scalar {scalar_s * 1e3:8.1f} ms   batched {batched_s * 1e3:8.1f} ms"
-        f"   speedup {speedup:.2f}x (target >= {CAMPAIGN_TARGET}x)"
+        f"   vectorized {vector_s * 1e3:8.1f} ms"
+    )
+    print(
+        f"batched/scalar {speedup:.2f}x (target >= {CAMPAIGN_TARGET}x)   "
+        f"vectorized/batched {vector_speedup:.2f}x (target >= {VECTOR_TARGET}x)   "
+        f"vectorized/scalar {vector_scalar_speedup:.2f}x "
+        f"(target >= {VECTOR_SCALAR_TARGET}x)"
     )
     _record(
         "table3_containment",
         {
             "scalar_seconds": round(scalar_s, 6),
             "batched_seconds": round(batched_s, 6),
+            "vectorized_seconds": round(vector_s, 6),
             "speedup": round(speedup, 3),
+            "vectorized_speedup": round(vector_speedup, 3),
+            "vectorized_scalar_speedup": round(vector_scalar_speedup, 3),
             "target": CAMPAIGN_TARGET,
+            "vectorized_target": VECTOR_TARGET,
+            "vectorized_scalar_target": VECTOR_SCALAR_TARGET,
             "identical_results": True,
         },
     )
     assert speedup >= CAMPAIGN_TARGET, (
         f"batched engine only {speedup:.2f}x over scalar "
         f"(target {CAMPAIGN_TARGET}x); see BENCH_engine.json"
+    )
+    assert vector_speedup >= VECTOR_TARGET, (
+        f"vectorized engine only {vector_speedup:.2f}x over batched "
+        f"(target {VECTOR_TARGET}x); see BENCH_engine.json"
+    )
+    assert vector_scalar_speedup >= VECTOR_SCALAR_TARGET, (
+        f"vectorized engine only {vector_scalar_speedup:.2f}x over scalar "
+        f"(target {VECTOR_SCALAR_TARGET}x); see BENCH_engine.json"
     )
 
 

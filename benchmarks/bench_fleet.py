@@ -101,6 +101,14 @@ def test_fleet_scaling() -> None:
             f"fleet scaling below target ({speedup:.2f}x < {SCALING_TARGET}x "
             f"at {WORKERS} workers on {cpus} CPUs); see BENCH_fleet.json"
         )
+    else:
+        # One loud, grep-able line: the CI fleet-smoke job lifts it into
+        # the job summary so a skipped target never passes silently.
+        print(
+            f"WARNING: fleet scaling target SKIPPED — only {cpus} CPU(s) "
+            f"(< {WORKERS} workers); speedup {speedup:.2f}x was NOT enforced "
+            f"against the {SCALING_TARGET}x target (target_enforced: false)"
+        )
 
 
 if __name__ == "__main__":

@@ -6,12 +6,20 @@ overwrites it, then runs::
 
     python benchmarks/check_trajectory.py PREV CURRENT --max-regression 0.20
 
-The check fails (exit 1) when the current campaign speedup has dropped
-more than ``--max-regression`` (a fraction) below the previous point.
-The comparison is appended to the current file's ``trajectory`` list so
-the uploaded artifact carries the history of the run-over-run movement.
-A missing previous file or key is not an error (first run, renamed
-benchmark): the check passes and says why.
+Without ``--key`` every metric in :data:`TRACKED` is gated: the
+campaign speedups (batched-over-scalar and vectorized-over-batched),
+the Figure 5 decode speedup, and the disabled-tracing overhead.  The
+check fails (exit 1) when any "up" metric drops more than
+``--max-regression`` (a fraction) below the previous point, or any
+"down" metric rises above the previous point by more than that fraction
+(with a one-percentage-point floor, since overheads hover near zero).
+With ``--key`` only that entry's ``speedup`` is gated (the fleet bench
+uses this).  Each comparison is appended to the current file's
+``trajectory`` list so the uploaded artifact carries the history of the
+run-over-run movement.  A metric absent from the previous file, or
+absent from both files, is not an error (first run, renamed benchmark):
+it is skipped with a note.  A metric present previously but missing
+from the current file fails the check.
 """
 
 from __future__ import annotations
@@ -22,9 +30,19 @@ import pathlib
 import sys
 from typing import Sequence
 
+#: Metrics gated when no ``--key`` is given: (entry, field, direction).
+#: "up" means higher is better (speedups); "down" means lower is better
+#: (overhead percentages).
+TRACKED: tuple[tuple[str, str, str], ...] = (
+    ("table3_containment", "speedup", "up"),
+    ("table3_containment", "vectorized_speedup", "up"),
+    ("fig5_throughput", "speedup", "up"),
+    ("tracing", "disabled_overhead_pct", "down"),
+)
 
-def load_speedup(path: pathlib.Path, key: str) -> float | None:
-    """The recorded speedup at *key*, or None when absent/unreadable."""
+
+def load_metric(path: pathlib.Path, key: str, field: str = "speedup") -> float | None:
+    """The recorded *field* of entry *key*, or None when absent."""
     try:
         doc = json.loads(path.read_text())
     except (OSError, ValueError):
@@ -32,8 +50,8 @@ def load_speedup(path: pathlib.Path, key: str) -> float | None:
     entry = doc.get(key)
     if not isinstance(entry, dict):
         return None
-    speedup = entry.get("speedup")
-    return float(speedup) if isinstance(speedup, (int, float)) else None
+    value = entry.get(field)
+    return float(value) if isinstance(value, (int, float)) else None
 
 
 def append_trajectory(path: pathlib.Path, point: dict) -> None:
@@ -44,6 +62,59 @@ def append_trajectory(path: pathlib.Path, point: dict) -> None:
         return
     doc.setdefault("trajectory", []).append(point)
     path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def check_metric(
+    current_path: pathlib.Path,
+    previous_path: pathlib.Path,
+    key: str,
+    field: str,
+    direction: str,
+    max_regression: float,
+) -> bool:
+    """Gate one metric; prints the verdict, returns pass/fail."""
+    label = key if field == "speedup" else f"{key}.{field}"
+    current = load_metric(current_path, key, field)
+    previous = load_metric(previous_path, key, field)
+    if current is None:
+        if previous is None:
+            print(f"trajectory: {label} absent from both points — skipped")
+            return True
+        print(f"trajectory: no {label} in {current_path} — FAIL")
+        return False
+    if previous is None:
+        print(
+            f"trajectory: no previous point ({previous_path}); "
+            f"current {label} {current:.2f} accepted"
+        )
+        return True
+
+    if direction == "up":
+        bound = previous * (1.0 - max_regression)
+        ok = current >= bound
+        bound_name = "floor"
+    else:
+        bound = previous + max(abs(previous) * max_regression, 1.0)
+        ok = current <= bound
+        bound_name = "ceiling"
+    point = {
+        "key": key,
+        "previous_speedup" if field == "speedup" else "previous_value": previous,
+        "current_speedup" if field == "speedup" else "current_value": current,
+        bound_name: round(bound, 3),
+        "max_regression": max_regression,
+        "ok": ok,
+    }
+    if field != "speedup":
+        point["field"] = field
+    append_trajectory(current_path, point)
+    verdict = "OK" if ok else "REGRESSED"
+    print(
+        f"trajectory: {label} {previous:.2f} -> {current:.2f} "
+        f"({bound_name} {bound:.2f}, max regression "
+        f"{max_regression:.0%}) — {verdict}"
+    )
+    return ok
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -58,42 +129,31 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--key",
-        default="table3_containment",
-        help="BENCH_engine.json entry whose 'speedup' is compared",
+        default=None,
+        help="gate only this entry's 'speedup' instead of the tracked "
+        "engine metrics (used by the fleet bench)",
     )
     args = parser.parse_args(argv)
 
-    current = load_speedup(args.current, args.key)
-    if current is None:
-        print(f"trajectory: no {args.key!r} speedup in {args.current} — FAIL")
+    if args.key is not None:
+        specs: Sequence[tuple[str, str, str]] = ((args.key, "speedup", "up"),)
+    else:
+        specs = TRACKED
+    # The primary metric must exist in the current point: a bench run
+    # that produced nothing is a failure, not a skip.
+    primary = specs[0][0]
+    if load_metric(args.current, primary, specs[0][1]) is None:
+        print(f"trajectory: no {primary!r} speedup in {args.current} — FAIL")
         return 1
-    previous = load_speedup(args.previous, args.key)
-    if previous is None:
-        print(
-            f"trajectory: no previous point ({args.previous}); "
-            f"current {args.key} speedup {current:.2f}x accepted"
-        )
-        return 0
 
-    floor = previous * (1.0 - args.max_regression)
-    ok = current >= floor
-    append_trajectory(
-        args.current,
-        {
-            "key": args.key,
-            "previous_speedup": previous,
-            "current_speedup": current,
-            "floor": round(floor, 3),
-            "max_regression": args.max_regression,
-            "ok": ok,
-        },
-    )
-    verdict = "OK" if ok else "REGRESSED"
-    print(
-        f"trajectory: {args.key} speedup {previous:.2f}x -> {current:.2f}x "
-        f"(floor {floor:.2f}x, max regression "
-        f"{args.max_regression:.0%}) — {verdict}"
-    )
+    ok = True
+    for key, field, direction in specs:
+        ok = (
+            check_metric(
+                args.current, args.previous, key, field, direction, args.max_regression
+            )
+            and ok
+        )
     return 0 if ok else 1
 
 

@@ -205,21 +205,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.export import render_summary, sequence_signature, summarize
 
     if args.compare_backends:
+        from repro.engine.backend import SimBackend
+
+        backends = tuple(b.value for b in SimBackend)
         sigs = {}
-        for backend in ("scalar", "batched"):
+        for backend in backends:
             events, _ = _run_traced_scenario(args, backend)
             sigs[backend] = sequence_signature(events)
             print(
                 f"{backend}: {len(events)} event(s), "
                 f"{len(sigs[backend])} deterministic"
             )
-        if sigs["scalar"] != sigs["batched"]:
+        diverged = [b for b in backends[1:] if sigs[b] != sigs["scalar"]]
+        if diverged:
             print(
-                "trace: scalar and batched event sequences DIVERGED",
+                f"trace: {', '.join(diverged)} event sequence(s) DIVERGED "
+                "from scalar",
                 file=sys.stderr,
             )
             return 1
-        print("trace: scalar and batched event sequences identical")
+        print(f"trace: {', '.join(backends)} event sequences identical")
         return 0
     events, dropped = _run_traced_scenario(args, args.backend)
     print(render_summary(summarize(events), dropped=dropped))
@@ -273,12 +278,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Siloz (SOSP 2023) reproduction toolkit",
     )
     parser.add_argument("--seed", type=int, default=0, help="global RNG seed")
+    from repro.engine.backend import SimBackend
+
     parser.add_argument(
         "--backend",
-        choices=("scalar", "batched"),
+        choices=tuple(b.value for b in SimBackend),
         default="scalar",
-        help="simulation hot path: 'scalar' reference or 'batched' engine "
-        "(identical results, see README Performance)",
+        help="simulation hot path: 'scalar' reference, 'batched' engine, "
+        "or numpy 'vectorized' kernels (identical results, see README "
+        "Performance)",
     )
     parser.add_argument(
         "-v",

@@ -282,7 +282,7 @@ def _offline_row_group_live(
                 )
                 continue
             try:
-                data = dram.read(addr, size)  # ECC heals CEs into the copy
+                data = dram.read_region(addr, size)  # ECC heals CEs into the copy
             except UncorrectableError as exc:
                 hv.topology.free_addr(new)
                 deferred_here.append(

@@ -24,6 +24,43 @@ from repro.errors import DramError
 #: Bits per ECC codeword (data portion).
 WORD_BITS: int = 64
 
+#: Flip sets at least this large take the vectorized word-count path
+#: (bulk reads: migration snapshots, remediation scans, patrol scrub).
+#: Below it the dict fold wins on constant factors.
+VECTOR_BITS_CUTOFF: int = 32
+
+_np = None  # lazy numpy handle; False once an import failed
+
+
+def _numpy():
+    global _np
+    if _np is None:
+        try:
+            import numpy
+
+            _np = numpy
+        except ImportError:  # pragma: no cover - numpy baked into CI
+            _np = False
+    return _np if _np is not False else None
+
+
+def _words_and_counts(flipped_bit_indexes: set[int]) -> list[tuple[int, int]]:
+    """``(word, flip count)`` pairs in ascending word order.
+
+    The numpy path (``np.unique`` on ``bit // WORD_BITS``) returns
+    exactly what the dict fold plus sort returns — both are exercised
+    by the ECC tests on the same flip sets."""
+    np = _numpy()
+    n = len(flipped_bit_indexes)
+    if np is not None and n >= VECTOR_BITS_CUTOFF:
+        arr = np.fromiter(flipped_bit_indexes, dtype=np.int64, count=n)
+        words, counts = np.unique(arr // WORD_BITS, return_counts=True)
+        return list(zip(words.tolist(), counts.tolist()))
+    by_word: dict[int, int] = {}
+    for bit in flipped_bit_indexes:
+        by_word[bit // WORD_BITS] = by_word.get(bit // WORD_BITS, 0) + 1
+    return sorted(by_word.items())
+
 
 class EccOutcome(Enum):
     """SEC-DED verdict for one 64-bit word."""
@@ -111,11 +148,8 @@ class EccEngine:
 
         Returns events for non-clean words only (clean words are the
         overwhelming majority and not interesting to log)."""
-        by_word: dict[int, int] = {}
-        for bit in flipped_bit_indexes:
-            by_word[bit // WORD_BITS] = by_word.get(bit // WORD_BITS, 0) + 1
         events = []
-        for word, count in sorted(by_word.items()):
+        for word, count in _words_and_counts(flipped_bit_indexes):
             outcome = classify_word(count)
             event = EccEvent(
                 socket=socket,
@@ -147,6 +181,14 @@ class EccEngine:
     def correctable_bits(self, flipped_bit_indexes: set[int]) -> set[int]:
         """The subset of flipped bits that SEC-DED would repair (exactly
         one flip in their word) — what a patrol scrub can heal."""
+        np = _numpy()
+        n = len(flipped_bit_indexes)
+        if np is not None and n >= VECTOR_BITS_CUTOFF:
+            arr = np.sort(np.fromiter(flipped_bit_indexes, dtype=np.int64, count=n))
+            _words, first, counts = np.unique(
+                arr // WORD_BITS, return_index=True, return_counts=True
+            )
+            return set(arr[first[counts == 1]].tolist())
         by_word: dict[int, list[int]] = {}
         for bit in flipped_bit_indexes:
             by_word.setdefault(bit // WORD_BITS, []).append(bit)

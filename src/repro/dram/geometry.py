@@ -15,6 +15,7 @@ rows, 1024-row subarrays.  That configuration is
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, replace
 
 from repro.errors import GeometryError
@@ -186,58 +187,58 @@ class DRAMGeometry:
     # Derived quantities
     # ------------------------------------------------------------------
 
-    @property
+    @functools.cached_property
     def ranks_per_channel(self) -> int:
         return self.dimms_per_channel * self.ranks_per_dimm
 
-    @property
+    @functools.cached_property
     def banks_per_channel(self) -> int:
         return self.ranks_per_channel * self.banks_per_rank
 
-    @property
+    @functools.cached_property
     def banks_per_socket(self) -> int:
         return self.channels_per_socket * self.banks_per_channel
 
-    @property
+    @functools.cached_property
     def total_banks(self) -> int:
         return self.sockets * self.banks_per_socket
 
-    @property
+    @functools.cached_property
     def bank_bytes(self) -> int:
         return self.rows_per_bank * self.row_bytes
 
-    @property
+    @functools.cached_property
     def socket_bytes(self) -> int:
         return self.banks_per_socket * self.bank_bytes
 
-    @property
+    @functools.cached_property
     def total_bytes(self) -> int:
         return self.sockets * self.socket_bytes
 
-    @property
+    @functools.cached_property
     def dimm_bytes(self) -> int:
         return self.ranks_per_dimm * self.banks_per_rank * self.bank_bytes
 
-    @property
+    @functools.cached_property
     def subarrays_per_bank(self) -> int:
         return self.rows_per_bank // self.rows_per_subarray
 
-    @property
+    @functools.cached_property
     def row_group_bytes(self) -> int:
         """One row from every bank in a socket (paper Fig. 2)."""
         return self.banks_per_socket * self.row_bytes
 
-    @property
+    @functools.cached_property
     def subarray_group_bytes(self) -> int:
         """Size of one subarray group: one subarray per bank per socket
         (paper §4.1: 192 * 1024 * 8 KiB = 1.5 GiB on the default)."""
         return self.banks_per_socket * self.rows_per_subarray * self.row_bytes
 
-    @property
+    @functools.cached_property
     def groups_per_socket(self) -> int:
         return self.subarrays_per_bank
 
-    @property
+    @functools.cached_property
     def total_groups(self) -> int:
         return self.sockets * self.groups_per_socket
 

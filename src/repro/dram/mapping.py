@@ -36,6 +36,9 @@ from repro.units import CACHE_LINE, MiB, is_aligned
 #: bounding memory on adversarial scans.
 DECODE_CACHE_SIZE = 1 << 16
 
+#: Sentinel distinguishing "not computed yet" from a cached ``None``.
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class AddressRange:
@@ -264,6 +267,83 @@ class SkylakeMapping:
         """Decode a vector of HPAs through the shared LRU cache."""
         cached = self.decode_cached
         return [cached(hpa) for hpa in hpas]
+
+    def _np_phys2rg_table(self):
+        """Chunk-permutation LUT as an int64 ndarray (lazy; ``None``
+        when numpy is unavailable, so callers can fall back)."""
+        tab = getattr(self, "_np_phys2rg_cached", _UNSET)
+        if tab is _UNSET:
+            try:
+                import numpy as np
+
+                tab = np.asarray(self._phys2rg, dtype=np.int64)
+            except ImportError:  # pragma: no cover - numpy baked into CI
+                tab = None
+            object.__setattr__(self, "_np_phys2rg_cached", tab)
+        return tab
+
+    def decode_media_batch(self, hpas):
+        """Vectorized :meth:`decode` over an array of HPAs.
+
+        Returns ``(socket, socket_bank, row, col)`` int64 ndarrays that
+        agree element-wise with :meth:`decode` (the mapping property
+        tests enforce this).  Raises :class:`ImportError` without numpy
+        and :class:`MappingError` on any out-of-range address.
+        """
+        import numpy as np
+
+        phys2rg = self._np_phys2rg_table()
+        arr = np.asarray(hpas, dtype=np.int64)
+        if arr.size:
+            lo, hi = int(arr.min()), int(arr.max())
+            if lo < 0 or hi >= self._c_total_bytes:
+                self._check_hpa(lo if lo < 0 else hi)
+        socket, off = np.divmod(arr, self._c_socket_bytes)
+        region, roff = np.divmod(off, self._c_region_bytes)
+        phys_chunk, coff = np.divmod(roff, self._c_chunk_bytes)
+        rg_in_chunk, within = np.divmod(coff, self._c_rg_bytes)
+        row = (
+            region * self._c_region_rgs
+            + phys2rg[phys_chunk] * self.chunk_row_groups
+            + rg_in_chunk
+        )
+        line, line_off = np.divmod(within, CACHE_LINE)
+        socket_bank = line % self._c_banks_per_socket
+        col = (line // self._c_banks_per_socket) * CACHE_LINE + line_off
+        return socket, socket_bank, row, col
+
+    def decode_flat_batch(self, hpas):
+        """Vectorized :meth:`decode_flat`: ``(socket, socket_bank,
+        channel, row)`` int64 ndarrays for an array of HPAs."""
+        socket, socket_bank, row, _col = self.decode_media_batch(hpas)
+        return socket, socket_bank, socket_bank // self._c_banks_per_channel, row
+
+    def decode_lines_batch(
+        self, hpa: int, length: int
+    ) -> list[tuple[int, int, int, int, int, int]]:
+        """Split ``[hpa, hpa+length)`` into per-cache-line pieces in one
+        vectorized decode: a list of ``(socket, socket_bank, row, col,
+        offset, take)``.  Raises :class:`ImportError` without numpy."""
+        import numpy as np
+
+        first = hpa // CACHE_LINE
+        n = (hpa + length - 1) // CACHE_LINE - first + 1
+        bounds = np.arange(first, first + n + 1, dtype=np.int64) * CACHE_LINE
+        starts = bounds[:-1].copy()
+        starts[0] = hpa
+        ends = bounds[1:]
+        ends[-1] = hpa + length
+        socket, socket_bank, row, col = self.decode_media_batch(starts)
+        return list(
+            zip(
+                socket.tolist(),
+                socket_bank.tolist(),
+                row.tolist(),
+                col.tolist(),
+                (starts - hpa).tolist(),
+                (ends - starts).tolist(),
+            )
+        )
 
     def decode_cache_info(self) -> dict[str, object]:
         """Hit/miss statistics of both decode LRUs (perf diagnostics)."""

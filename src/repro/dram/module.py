@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 from repro import obs
 from repro.dram.disturbance import BitFlip, DisturbanceModel, DisturbanceProfile
-from repro.dram.ecc import EccEngine, EccEvent, EccOutcome
+from repro.dram.ecc import WORD_BITS, EccEngine, EccEvent, EccOutcome
 from repro.dram.geometry import DRAMGeometry
 from repro.dram.mapping import SkylakeMapping
 from repro.dram.media import MediaAddress
@@ -96,8 +96,9 @@ class SimulatedDram:
         :class:`~repro.engine.backend.SimBackend` (or its string value)
         selecting the activation hot path: ``SCALAR`` is the golden
         reference, ``BATCHED`` routes :meth:`activate_batch` through the
-        array-backed :mod:`repro.engine.batch` loop.  Both produce
-        bit-identical results (see ``tests/test_differential.py``).
+        array-backed :mod:`repro.engine.batch` loop, ``VECTORIZED``
+        through the numpy :mod:`repro.engine.vector` kernels.  All three
+        produce bit-identical results (see ``tests/test_differential.py``).
     """
 
     def __init__(
@@ -123,6 +124,9 @@ class SimulatedDram:
         if mapping.geom is not geom:
             raise DramError("mapping and module must share a geometry")
         self.mapping = mapping
+        # Vectorized whole-span line decode (repro.engine); None when the
+        # mapping implementation has no batch decoder or numpy is absent.
+        self._lines_fast = getattr(mapping, "decode_lines_batch", None)
         self.backend = SimBackend.parse(backend)
         if self.backend is SimBackend.BATCHED:
             # Imported lazily: repro.engine.batch itself imports the
@@ -132,6 +136,16 @@ class SimulatedDram:
             self.disturbance: DisturbanceModel = BatchedDisturbanceModel(
                 geom, profile, seed=seed
             )
+        elif self.backend is SimBackend.VECTORIZED:
+            try:
+                from repro.engine.vector import VectorizedDisturbanceModel
+            except ImportError as exc:  # numpy not installed
+                raise DramError(
+                    "the vectorized backend requires numpy; install it or "
+                    "pick the scalar/batched backend"
+                ) from exc
+
+            self.disturbance = VectorizedDisturbanceModel(geom, profile, seed=seed)
         else:
             self.disturbance = DisturbanceModel(geom, profile, seed=seed)
         self.trr = Trr(geom, trr_config, seed=seed + 1) if trr_config else None
@@ -277,6 +291,10 @@ class SimulatedDram:
             from repro.engine.batch import run_activation_batch
 
             return run_activation_batch(self, socket, bank, rows)
+        if self.backend is SimBackend.VECTORIZED:
+            from repro.engine.vector import run_activation_batch_vectorized
+
+            return run_activation_batch_vectorized(self, socket, bank, rows)
         flips: list[BitFlip] = []
         for row in rows:
             flips.extend(self.activate(socket, bank, row))
@@ -390,34 +408,51 @@ class SimulatedDram:
             data[bit // 8] ^= 1 << (bit % 8)
         return data
 
-    def _lines(self, hpa: int, length: int):
-        """Split [hpa, hpa+length) into per-cache-line pieces, decoded."""
+    def _lines(self, hpa: int, length: int) -> list[tuple[int, int, int, int, int, int]]:
+        """Split [hpa, hpa+length) into per-cache-line pieces, decoded to
+        ``(socket, socket_bank, row, col, offset, take)`` tuples.
+
+        Multi-line spans go through the mapping's vectorized
+        ``decode_lines_batch`` when numpy is available; single lines and
+        numpy-less runs use the scalar decode.  Both agree exactly (the
+        mapping property tests compare them)."""
         if length <= 0:
             raise DramError(f"length must be positive, got {length}")
+        fast = self._lines_fast
+        if fast is not None and length > CACHE_LINE:
+            try:
+                return fast(hpa, length)
+            except ImportError:  # pragma: no cover - numpy baked into CI
+                self._lines_fast = None
+        out = []
+        geom = self.geom
+        decode = self.mapping.decode
         offset = 0
         while offset < length:
             addr = hpa + offset
             line_off = addr % CACHE_LINE
             take = min(CACHE_LINE - line_off, length - offset)
-            media = self.mapping.decode(addr)
-            yield media, offset, take
+            media = decode(addr)
+            out.append(
+                (media.socket, media.socket_bank_index(geom), media.row, media.col, offset, take)
+            )
             offset += take
+        return out
 
     def write(self, hpa: int, data: bytes) -> None:
         """Write bytes at *hpa*; clears any flips in the written bits."""
         self.counters.writes += 1
-        for media, offset, take in self._lines(hpa, len(data)):
-            socket, bank = media.socket, media.socket_bank_index(self.geom)
-            self.activate(socket, bank, media.row)
-            store = self._row_store(socket, bank, media.row)
-            store[media.col : media.col + take] = data[offset : offset + take]
-            flips = self._flips.get((socket, bank, media.row))
+        for socket, bank, row, col, offset, take in self._lines(hpa, len(data)):
+            self.activate(socket, bank, row)
+            store = self._row_store(socket, bank, row)
+            store[col : col + take] = data[offset : offset + take]
+            flips = self._flips.get((socket, bank, row))
             if flips:
-                low, high = media.col * 8, (media.col + take) * 8
+                low, high = col * 8, (col + take) * 8
                 for bit in [b for b in flips if low <= b < high]:
                     flips.remove(bit)
                 if not flips:
-                    del self._flips[(socket, bank, media.row)]
+                    del self._flips[(socket, bank, row)]
         for hook in self._hooks:
             hook.on_write(self, hpa, len(data))
 
@@ -429,37 +464,97 @@ class SimulatedDram:
         raises :class:`UncorrectableError` (machine check, §2.5)."""
         self.counters.reads += 1
         out = bytearray(length)
-        for media, offset, take in self._lines(hpa, length):
-            socket, bank = media.socket, media.socket_bank_index(self.geom)
-            self.activate(socket, bank, media.row)
-            chunk = self._effective_row(socket, bank, media.row)[
-                media.col : media.col + take
-            ]
+        for socket, bank, row, col, offset, take in self._lines(hpa, length):
+            self.activate(socket, bank, row)
+            chunk = self._effective_row(socket, bank, row)[col : col + take]
             if ecc:
-                chunk = self._ecc_correct_chunk(socket, bank, media, take, chunk)
+                chunk = self._ecc_correct_chunk(socket, bank, row, col, take, chunk)
             out[offset : offset + take] = chunk
         return bytes(out)
 
+    def read_region(self, hpa: int, length: int, *, ecc: bool = True) -> bytes:
+        """Bulk read of ``[hpa, hpa+length)`` with open-row semantics.
+
+        Decodes the whole span in one vectorized pass, activates each
+        touched row once (a burst reader keeps a row open across its
+        columns instead of re-activating per cache line), senses it
+        once, and runs a single ECC sweep per row over every touched
+        word.  Returned bytes and healed bits match per-line
+        :meth:`read` on the same span; only the ACT/clock accounting
+        differs (one ACT per touched row), identically across all three
+        backends.  Bulk consumers — migration snapshots, remediation
+        copies — use this instead of :meth:`read`."""
+        self.counters.reads += 1
+        out = bytearray(length)
+        sensed: dict[tuple[int, int, int], bytearray] = {}
+        pieces: dict[tuple[int, int, int], list[tuple[int, int, int]]] = {}
+        for socket, bank, row, col, offset, take in self._lines(hpa, length):
+            key = (socket, bank, row)
+            data = sensed.get(key)
+            if data is None:
+                self.activate(socket, bank, row)
+                data = sensed[key] = self._effective_row(socket, bank, row)
+                pieces[key] = []
+            out[offset : offset + take] = data[col : col + take]
+            pieces[key].append((col, take, offset))
+        if not ecc:
+            return bytes(out)
+        for (socket, bank, row), spans in pieces.items():
+            flips = self._flips.get((socket, bank, row))
+            if not flips:
+                continue
+            touched = {
+                b
+                for col, take, _off in spans
+                for b in flips
+                if col * 8 <= b < (col + take) * 8
+            }
+            if not touched:
+                continue
+            events = self.ecc.check_row_bits(socket, bank, row, touched, self.clock)
+            for event in events:
+                if event.outcome is EccOutcome.UNCORRECTABLE:
+                    byte = event.word * (WORD_BITS // 8)
+                    col = next(
+                        (c for c, take, _off in spans if c <= byte < c + take),
+                        spans[0][0],
+                    )
+                    media = MediaAddress.from_socket_bank(
+                        self.geom, socket, bank, row, col
+                    )
+                    raise UncorrectableError(
+                        f"double-bit error in row {row} word {event.word}",
+                        address=self.mapping.encode(media),
+                    )
+            for bit in self.ecc.correctable_bits(touched):
+                byte = bit // 8
+                for col, take, off in spans:
+                    if col <= byte < col + take:
+                        out[off + (byte - col)] ^= 1 << (bit % 8)
+                        break
+        return bytes(out)
+
     def _ecc_correct_chunk(
-        self, socket: int, bank: int, media: MediaAddress, take: int, chunk: bytearray
+        self, socket: int, bank: int, row: int, col: int, take: int, chunk: bytearray
     ) -> bytearray:
-        flips = self._flips.get((socket, bank, media.row))
+        flips = self._flips.get((socket, bank, row))
         if not flips:
             return chunk
-        low, high = media.col * 8, (media.col + take) * 8
+        low, high = col * 8, (col + take) * 8
         touched = {b for b in flips if low <= b < high}
         if not touched:
             return chunk
-        events = self.ecc.check_row_bits(socket, bank, media.row, touched, self.clock)
+        events = self.ecc.check_row_bits(socket, bank, row, touched, self.clock)
         for event in events:
             if event.outcome is EccOutcome.UNCORRECTABLE:
+                media = MediaAddress.from_socket_bank(self.geom, socket, bank, row, col)
                 raise UncorrectableError(
-                    f"double-bit error in row {media.row} word {event.word}",
+                    f"double-bit error in row {row} word {event.word}",
                     address=self.mapping.encode(media),
                 )
         chunk = bytearray(chunk)
         for bit in self.ecc.correctable_bits(touched):
-            chunk[bit // 8 - media.col] ^= 1 << (bit % 8)
+            chunk[bit // 8 - col] ^= 1 << (bit % 8)
         return chunk
 
     # ------------------------------------------------------------------

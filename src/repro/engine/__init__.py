@@ -1,16 +1,37 @@
-"""Batched hot-path simulation engine (see :mod:`repro.engine.batch`).
+"""Fast hot-path simulation engines (batched + vectorized).
 
 ``SimBackend`` selects between the scalar golden-reference path and the
-batched fast path; ``run_activation_batch`` is the vectorized ACT loop
+two fast paths; ``run_activation_batch`` is the inlined per-ACT loop and
+``run_activation_batch_vectorized`` the numpy whole-batch kernel, both
 used by :meth:`repro.dram.module.SimulatedDram.activate_batch`.
+
+The vectorized names resolve lazily (PEP 562) so importing the engine
+package — which the batched path does — never requires numpy.
 """
+
+from typing import Any
 
 from repro.engine.backend import BackendError, SimBackend
 from repro.engine.batch import BatchedDisturbanceModel, run_activation_batch
+
+_VECTOR_NAMES = (
+    "VectorizedDisturbanceModel",
+    "bulk_uniforms",
+    "run_activation_batch_vectorized",
+)
 
 __all__ = [
     "BackendError",
     "BatchedDisturbanceModel",
     "SimBackend",
     "run_activation_batch",
+    *_VECTOR_NAMES,
 ]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _VECTOR_NAMES:
+        from repro.engine import vector
+
+        return getattr(vector, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

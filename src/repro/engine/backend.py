@@ -1,10 +1,10 @@
 """Simulation-backend selection for the hot activation path.
 
-Two backends drive the disturbance/TRR/refresh core of
+Three backends drive the disturbance/TRR/refresh core of
 :class:`~repro.dram.module.SimulatedDram`:
 
 - ``SCALAR`` — the original per-access object-graph walk.  It is the
-  *golden reference*: every batched result is defined as "whatever the
+  *golden reference*: every fast-path result is defined as "whatever the
   scalar path would have produced".
 - ``BATCHED`` — the :mod:`repro.engine.batch` fast path: flat per-bank
   ``array('d')`` pressure/threshold tables, a memoized neighbor table,
@@ -12,9 +12,15 @@ Two backends drive the disturbance/TRR/refresh core of
   the same order as the scalar path, so flip sets, TRR decisions, ECC
   events and health escalations are bit-for-bit identical (enforced by
   ``tests/test_differential.py``).
+- ``VECTORIZED`` — the :mod:`repro.engine.vector` numpy path: whole-batch
+  pressure/TRR/clock math as float64 array kernels, dropping to the
+  exact scalar code only at RNG-consuming events (first-touch threshold
+  draws, flip emission).  Same bit-identical contract, enforced by the
+  same differential suite, pairwise against both other backends.
 
 The enum deliberately lives in a dependency-free module so the DRAM
-layer can import it without pulling the engine implementation in.
+layer can import it without pulling the engine implementation (or
+numpy) in.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ class SimBackend(Enum):
 
     SCALAR = "scalar"
     BATCHED = "batched"
+    VECTORIZED = "vectorized"
 
     @classmethod
     def parse(cls, value: "SimBackend | str") -> "SimBackend":

@@ -29,7 +29,7 @@ seeded attack patterns, fault plans and workload traces.
 from __future__ import annotations
 
 from array import array
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro import obs
 from repro.dram.disturbance import BitFlip, DisturbanceModel, DisturbanceProfile
@@ -38,6 +38,21 @@ from repro.errors import DramError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (module -> engine)
     from repro.dram.module import SimulatedDram
+
+#: Per-geometry NaN row templates, keyed by rows_per_bank.  Building the
+#: template costs O(rows) per call; every model instance (one per host in
+#: fleet campaigns) used to pay it in ``__init__``.  The template is
+#: read-only by convention — consumers copy before mutating.
+_NAN_TEMPLATES: dict[int, array] = {}
+
+
+def nan_row_template(rows: int) -> array:
+    """Shared all-NaN ``array('d')`` of length *rows* (copy before use)."""
+    got = _NAN_TEMPLATES.get(rows)
+    if got is None:
+        got = array("d", [float("nan")]) * rows
+        _NAN_TEMPLATES[rows] = got
+    return got
 
 
 class BatchedDisturbanceModel(DisturbanceModel):
@@ -61,9 +76,12 @@ class BatchedDisturbanceModel(DisturbanceModel):
         super().__init__(geom, profile, seed=seed)
         rows = geom.rows_per_bank
         self._zeros = array("d", bytes(8 * rows))
-        self._nans = array("d", [float("nan")]) * rows
-        #: (socket, bank) -> (pressure array, threshold array)
-        self._banks: dict[tuple[int, int], tuple[array, array]] = {}
+        self._nans = nan_row_template(rows)
+        #: (socket, bank) -> (pressure array, threshold array).  The
+        #: vectorized subclass stores np.float64 arrays here instead;
+        #: both expose float __getitem__/__setitem__, which is all the
+        #: batched loop needs.
+        self._banks: dict[tuple[int, int], tuple[Any, Any]] = {}
         #: row -> tuple[(victim, weight), ...]; lazily filled memo of
         #: the subarray-clipped spill targets (identical to _neighbors).
         self._neighbor_table: list = [None] * rows
@@ -72,7 +90,7 @@ class BatchedDisturbanceModel(DisturbanceModel):
     # Flat state
     # ------------------------------------------------------------------
 
-    def _bank_arrays(self, socket: int, bank: int) -> tuple[array, array]:
+    def _bank_arrays(self, socket: int, bank: int) -> tuple[Any, Any]:
         key = (socket, bank)
         got = self._banks.get(key)
         if got is None:
@@ -94,8 +112,8 @@ class BatchedDisturbanceModel(DisturbanceModel):
         aggressor_row: int,
         amount: float,
         when: float,
-        press: array,
-        thresh: array,
+        press: Any,
+        thresh: Any,
     ) -> list[BitFlip]:
         """Mirror of the scalar ``_add_pressure`` over the flat tables."""
         new_flips: list[BitFlip] = []

@@ -89,7 +89,7 @@ def _snapshot_regions(host: Host, vm: VirtualMachine) -> dict[str, bytearray]:
             buf = buffers.setdefault(name, bytearray(regions[name].size))
             offset = gpa - regions[name].gpa
             try:
-                buf[offset:offset + size] = dram.read(hpa, size)
+                buf[offset:offset + size] = dram.read_region(hpa, size)
             except UncorrectableError as exc:
                 raise MigrationError(
                     f"VM {vm.name!r} has uncorrectable data at hpa {hpa:#x}; "
@@ -117,7 +117,7 @@ def _digest(host: Host, vm: VirtualMachine) -> str:
     h = hashlib.sha256()
     for mediation in (True, False):
         for _name, _gpa, hpa, size in region_extents(vm, unmediated=mediation):
-            h.update(dram.read(hpa, size))
+            h.update(dram.read_region(hpa, size))
     return h.hexdigest()
 
 

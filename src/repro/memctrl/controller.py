@@ -154,32 +154,54 @@ class MemoryController:
         with obs.span("memctrl.run_trace"):
             return self._run_trace(trace)
 
+    def _decode_all(
+        self, accesses: list[MemoryAccess]
+    ) -> list[tuple[int, int, int, int]]:
+        """Decode every access to ``(socket, socket_bank, channel, row)``.
+
+        Decode is a pure function of the HPA, so hoisting it out of the
+        issue loop cannot change results; long traces go through the
+        mapping's vectorized ``decode_flat_batch`` (repro.engine) when
+        numpy is available, others through the flat LRU or the
+        MediaAddress reference path."""
+        if len(accesses) >= 8:
+            batch = getattr(self.mapping, "decode_flat_batch", None)
+            if batch is not None and self._decode_flat is not None:
+                try:
+                    socket, sbank, chan, row = batch([a.hpa for a in accesses])
+                except ImportError:  # pragma: no cover - numpy baked into CI
+                    pass
+                else:
+                    return list(
+                        zip(socket.tolist(), sbank.tolist(), chan.tolist(), row.tolist())
+                    )
+        decode_flat = self._decode_flat
+        if decode_flat is not None:
+            return [decode_flat(a.hpa) for a in accesses]
+        geom = self.geom
+        decode = self.mapping.decode
+        return [
+            (m.socket, m.socket_bank_index(geom), m.channel, m.row)
+            for m in (decode(a.hpa) for a in accesses)
+        ]
+
     def _run_trace(self, trace: Iterable[MemoryAccess]) -> TraceResult:
         from collections import deque
 
         t = self.timings
-        geom = self.geom
-        decode_flat = self._decode_flat
-        decode = self.mapping.decode
+        accesses = trace if isinstance(trace, list) else list(trace)
+        decoded = self._decode_all(accesses)
         banks: dict[tuple[int, int], BankState] = {}
         channels: dict[tuple[int, int], ChannelState] = {}
         in_flight: deque[float] = deque()
         result = TraceResult()
         now = 0.0  # ns; issue clock
-        for access in trace:
+        for access, (socket, socket_bank, channel, row) in zip(accesses, decoded):
             now += access.cpu_gap_ns
             while in_flight and in_flight[0] <= now:
                 in_flight.popleft()
             if len(in_flight) >= self.max_outstanding:
                 now = in_flight.popleft()
-            if decode_flat is not None:
-                socket, socket_bank, channel, row = decode_flat(access.hpa)
-            else:
-                media = decode(access.hpa)
-                socket = media.socket
-                socket_bank = media.socket_bank_index(geom)
-                channel = media.channel
-                row = media.row
             bank_key = (socket, socket_bank)
             chan_key = (socket, channel)
             bank = banks.get(bank_key)

@@ -39,29 +39,23 @@ class FrFcfsController(MemoryController):
     def run_trace(self, trace) -> TraceResult:
         """Replay *trace* with first-ready-first reordering in the window."""
         t = self.timings
-        geom = self.geom
-        decode_flat = self._decode_flat
         banks: dict[tuple[int, int], BankState] = {}
         channels: dict[tuple[int, int], ChannelState] = {}
         result = TraceResult()
         now = 0.0
 
         # Pre-decode into a pending queue of
-        # (arrival, socket, bank_key, channel, row, access); the flat
-        # LRU-cached decoder avoids rebuilding MediaAddress objects for
-        # repeated lines (the common case in the perf traces).
+        # (arrival, socket, bank_key, channel, row, access); _decode_all
+        # vectorizes long traces and falls back to the flat LRU decoder
+        # for short ones (repeated lines are the common case in the perf
+        # traces).
+        accesses = trace if isinstance(trace, list) else list(trace)
         pending: deque = deque()
         arrival = 0.0
-        for access in trace:
+        for access, (socket, socket_bank, channel, row) in zip(
+            accesses, self._decode_all(accesses)
+        ):
             arrival += access.cpu_gap_ns
-            if decode_flat is not None:
-                socket, socket_bank, channel, row = decode_flat(access.hpa)
-            else:
-                media = self.mapping.decode(access.hpa)
-                socket = media.socket
-                socket_bank = media.socket_bank_index(geom)
-                channel = media.channel
-                row = media.row
             pending.append(
                 (arrival, socket, (socket, socket_bank), channel, row, access)
             )

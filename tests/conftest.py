@@ -141,14 +141,20 @@ def replay_program(backend: str, seed: int) -> dict:
     }
 
 
-def diff_transcripts(seed: int, scalar: dict, batched: dict) -> list[str]:
+def diff_transcripts(
+    seed: int,
+    scalar: dict,
+    batched: dict,
+    labels: tuple[str, str] = ("scalar", "batched"),
+) -> list[str]:
     """Human-readable field-level differences (empty = equivalent)."""
+    a_name, b_name = labels
     problems = []
     for key in scalar:
         if scalar[key] != batched[key]:
             problems.append(
                 f"seed={seed}: field {key!r} diverged\n"
-                f"  scalar:  {scalar[key]!r}\n"
-                f"  batched: {batched[key]!r}"
+                f"  {a_name}: {scalar[key]!r}\n"
+                f"  {b_name}: {batched[key]!r}"
             )
     return problems

@@ -62,3 +62,70 @@ class TestCheckTrajectory:
         assert point["previous_speedup"] == 2.5
         assert point["current_speedup"] == 2.4
         assert point["ok"] is True
+
+
+def _full_bench_json(tmp_path, name: str, **overrides) -> pathlib.Path:
+    """A bench point carrying every tracked metric (overridable)."""
+    doc = {
+        "bench": "engine",
+        "table3_containment": {
+            "speedup": overrides.get("speedup", 4.0),
+            "vectorized_speedup": overrides.get("vectorized_speedup", 2.5),
+        },
+        "fig5_throughput": {"speedup": overrides.get("fig5", 2.2)},
+        "tracing": {
+            "disabled_overhead_pct": overrides.get("overhead", 0.1),
+        },
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestTrackedMetrics:
+    def test_all_tracked_metrics_gated(self, tmp_path, capsys):
+        prev = _full_bench_json(tmp_path, "prev.json")
+        cur = _full_bench_json(tmp_path, "cur.json")
+        assert check_trajectory.main([str(prev), str(cur)]) == 0
+        out = capsys.readouterr().out
+        assert "table3_containment.vectorized_speedup" in out
+        assert "fig5_throughput" in out
+        assert "tracing.disabled_overhead_pct" in out
+
+    def test_vectorized_speedup_regression_fails(self, tmp_path, capsys):
+        prev = _full_bench_json(tmp_path, "prev.json", vectorized_speedup=3.0)
+        cur = _full_bench_json(tmp_path, "cur.json", vectorized_speedup=2.0)
+        assert check_trajectory.main([str(prev), str(cur)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_fig5_regression_fails(self, tmp_path):
+        prev = _full_bench_json(tmp_path, "prev.json", fig5=3.0)
+        cur = _full_bench_json(tmp_path, "cur.json", fig5=2.0)
+        assert check_trajectory.main([str(prev), str(cur)]) == 1
+
+    def test_tracing_overhead_rise_fails(self, tmp_path, capsys):
+        # "down" metric: overhead climbing past previous + 1pt fails.
+        prev = _full_bench_json(tmp_path, "prev.json", overhead=0.2)
+        cur = _full_bench_json(tmp_path, "cur.json", overhead=1.9)
+        assert check_trajectory.main([str(prev), str(cur)]) == 1
+        assert "tracing.disabled_overhead_pct" in capsys.readouterr().out
+
+    def test_tracing_overhead_within_point_passes(self, tmp_path):
+        prev = _full_bench_json(tmp_path, "prev.json", overhead=-0.3)
+        cur = _full_bench_json(tmp_path, "cur.json", overhead=0.5)
+        assert check_trajectory.main([str(prev), str(cur)]) == 0
+
+    def test_new_metric_without_previous_is_accepted(self, tmp_path, capsys):
+        # Old points predate vectorized_speedup; first run must pass.
+        prev = _bench_json(tmp_path, "prev.json", 4.0)
+        cur = _full_bench_json(tmp_path, "cur.json")
+        assert check_trajectory.main([str(prev), str(cur)]) == 0
+        assert "accepted" in capsys.readouterr().out
+
+    def test_single_key_mode_unchanged(self, tmp_path, capsys):
+        prev = _full_bench_json(tmp_path, "prev.json")
+        cur = _full_bench_json(tmp_path, "cur.json")
+        argv = [str(prev), str(cur), "--key", "table3_containment"]
+        assert check_trajectory.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "vectorized_speedup" not in out

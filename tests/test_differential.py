@@ -1,15 +1,15 @@
-"""Differential harness: batched engine vs the scalar golden reference.
+"""Differential harness: the fast engines vs the scalar golden reference.
 
-The ``SimBackend.BATCHED`` fast path (:mod:`repro.engine`) is only
-admissible because it is *observationally identical* to the scalar
-path: same flip sets, same TRR decisions, same ECC events, same
+The ``SimBackend.BATCHED`` and ``SimBackend.VECTORIZED`` fast paths
+(:mod:`repro.engine`) are only admissible because they are
+*observationally identical* to the scalar path: same flip sets, same TRR decisions, same ECC events, same
 health-monitor escalations, same clocks and counters.  These tests
 enforce that contract on three levels:
 
 1. seeded mixed programs (hammer shapes + fault plans + scrubs + guest
-   I/O) through :func:`conftest.replay_program` — a handful of seeds in
-   tier1, ~50 seeds in the tier2 fuzz job (every failure names the seed
-   to replay);
+   I/O) through :func:`conftest.replay_program`, compared pairwise
+   across all three backends — a handful of seeds in tier1, ~50 seeds
+   in the tier2 fuzz job (every failure names the seed to replay);
 2. the end-to-end CE-storm scenario, whose transcript/replay key must
    be backend-independent;
 3. the attack stack (fuzzer campaigns) and the memory controllers,
@@ -25,10 +25,17 @@ from conftest import diff_transcripts, replay_program
 from repro.units import MiB
 
 
+BACKENDS = ("scalar", "batched", "vectorized")
+
+
 def _assert_equivalent(seed: int) -> None:
-    scalar = replay_program("scalar", seed)
-    batched = replay_program("batched", seed)
-    problems = diff_transcripts(seed, scalar, batched)
+    transcripts = {backend: replay_program(backend, seed) for backend in BACKENDS}
+    problems = []
+    for i, a in enumerate(BACKENDS):
+        for b in BACKENDS[i + 1 :]:
+            problems += diff_transcripts(
+                seed, transcripts[a], transcripts[b], labels=(a, b)
+            )
     assert not problems, (
         f"backends diverged; replay with replay_program(<backend>, {seed}):\n"
         + "\n".join(problems)
@@ -62,11 +69,13 @@ class TestScenarioTranscripts:
     def test_ce_storm_replay_key_backend_independent(self, seed):
         from repro.faults.scenario import run_ce_storm_scenario
 
-        scalar = run_ce_storm_scenario(seed=seed, backend="scalar")
-        batched = run_ce_storm_scenario(seed=seed, backend="batched")
-        assert scalar.transcript == batched.transcript, f"seed={seed}"
-        assert scalar.replay_key() == batched.replay_key()
-        assert scalar.success and batched.success
+        runs = {b: run_ce_storm_scenario(seed=seed, backend=b) for b in BACKENDS}
+        scalar = runs["scalar"]
+        for backend in BACKENDS[1:]:
+            other = runs[backend]
+            assert scalar.transcript == other.transcript, f"seed={seed} {backend}"
+            assert scalar.replay_key() == other.replay_key(), backend
+        assert all(r.success for r in runs.values())
 
 
 class TestAttackStack:
@@ -77,7 +86,7 @@ class TestAttackStack:
 
         outcomes = {}
         logs = {}
-        for backend in ("scalar", "batched"):
+        for backend in BACKENDS:
             hv = SilozHypervisor.boot(Machine.small(seed=7, backend=backend))
             attacker = hv.create_vm(VmSpec(name="attacker", memory_bytes=2 * MiB))
             hv.create_vm(VmSpec(name="victim", memory_bytes=2 * MiB))
@@ -85,12 +94,13 @@ class TestAttackStack:
                 hv, attacker, seed=7, pattern_budget=12
             )
             logs[backend] = hv.machine.dram.flips_log
-        assert logs["scalar"] == logs["batched"]
-        assert outcomes["scalar"].summary() == outcomes["batched"].summary()
-        assert (
-            outcomes["scalar"].report.activations
-            == outcomes["batched"].report.activations
-        )
+        for backend in BACKENDS[1:]:
+            assert logs["scalar"] == logs[backend], backend
+            assert outcomes["scalar"].summary() == outcomes[backend].summary()
+            assert (
+                outcomes["scalar"].report.activations
+                == outcomes[backend].report.activations
+            )
 
     def test_blast_radius_identical(self):
         from repro.attack.blaster import measure_blast_radius
@@ -100,7 +110,7 @@ class TestAttackStack:
 
         geom = DRAMGeometry.small(rows_per_bank=128, rows_per_subarray=16)
         profiles = {}
-        for backend in ("scalar", "batched"):
+        for backend in BACKENDS:
             dram = SimulatedDram(
                 geom,
                 profile=DisturbanceProfile.test_scale(threshold_mean=80.0),
@@ -111,7 +121,8 @@ class TestAttackStack:
             profiles[backend] = measure_blast_radius(
                 dram, activations=4000
             ).flips_by_distance
-        assert profiles["scalar"] == profiles["batched"]
+        for backend in BACKENDS[1:]:
+            assert profiles["scalar"] == profiles[backend], backend
         assert profiles["scalar"], "blast measurement produced no flips"
 
 
