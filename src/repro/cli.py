@@ -11,7 +11,10 @@ Gives operators the paper's experiments without writing code:
 - ``trace`` — run a traced scenario and summarize (or differentially
   compare) its event stream,
 - ``fleet`` — a multi-host campaign: subarray-group-aware placement,
-  admission control, and per-host simulations sharded across workers.
+  admission control, and per-host simulations sharded across supervised
+  workers, with optional chaos (``--chaos-seed``) and checkpoint/resume
+  (``--journal`` / ``--resume``),
+- ``chaos`` — print the chaos plan a seeded campaign would apply.
 
 Any command can be observed: ``--trace FILE`` writes the JSONL event
 log, ``--chrome-trace FILE`` writes a ``chrome://tracing`` file, and
@@ -231,30 +234,66 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.errors import FleetError
-    from repro.fleet import CampaignConfig, run_campaign
+def _fleet_config(args: argparse.Namespace):
+    from repro.fleet import CampaignConfig
 
+    return CampaignConfig(
+        hosts=args.hosts,
+        vms=args.vms,
+        policy=args.policy,
+        scenario=args.scenario,
+        backend=args.backend,
+        seed=args.seed,
+        workers=args.workers,
+        budget=args.budget,
+        queue_depth=args.queue_depth,
+        max_retries=args.max_retries,
+        chaos_seed=getattr(args, "chaos_seed", None),
+        chaos_events=getattr(args, "chaos_events", 4),
+    )
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.errors import ChaosError, FleetError
+    from repro.fleet import FleetCampaign
+
+    resume = getattr(args, "resume", None)
     try:
-        config = CampaignConfig(
-            hosts=args.hosts,
-            vms=args.vms,
-            policy=args.policy,
-            scenario=args.scenario,
-            backend=args.backend,
-            seed=args.seed,
-            workers=args.workers,
-            budget=args.budget,
-            queue_depth=args.queue_depth,
-            max_retries=args.max_retries,
+        campaign = FleetCampaign(_fleet_config(args))
+        report = campaign.run(
+            journal_path=getattr(args, "journal", None), resume_path=resume
         )
-        report = run_campaign(config)
+    except ChaosError as exc:
+        print(f"repro fleet: {exc}", file=sys.stderr)
+        return 2
     except FleetError as exc:
         print(f"repro fleet: {exc}", file=sys.stderr)
         return 2
+    if campaign.resumed_shards:
+        print(
+            f"resume: {campaign.resumed_shards} shard(s) replayed from "
+            f"journal {resume}"
+        )
     print(report.render_text())
     print(f"merge digest: {report.digest()}")
-    return 0 if report.hosts_failed == 0 else 1
+    # Chaos-planned crashes are handled (evacuated + audited) outcomes,
+    # not campaign failures; unplanned host failures or a dirty audit
+    # still fail the run.
+    unplanned = report.hosts_failed - report.hosts_crashed
+    return 0 if unplanned == 0 and report.audit_clean else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import ChaosPlan
+
+    plan = ChaosPlan.generate(
+        args.chaos_seed if args.chaos_seed is not None else args.seed,
+        args.hosts,
+        events=args.chaos_events,
+        arrivals=args.vms,
+    )
+    print(plan.describe())
+    return 0
 
 
 def _cmd_softrefresh(args: argparse.Namespace) -> int:
@@ -396,6 +435,48 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--max-retries", type=int, default=2, help="placement retries before eviction"
     )
+    fleet.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="generate and apply a seeded chaos plan (host crashes, worker "
+        "deaths, UE storms, digest corruption, queue stalls)",
+    )
+    fleet.add_argument(
+        "--chaos-events",
+        type=int,
+        default=4,
+        help="events in the generated chaos plan",
+    )
+    fleet.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="checkpoint completed shards to a JSONL journal FILE",
+    )
+    fleet.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="resume a killed campaign: replay completed shards from the "
+        "journal FILE, run only what's missing, keep journalling to it",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="print the chaos plan a seeded fleet campaign would apply",
+    )
+    chaos.add_argument("--hosts", type=int, default=4, help="hosts in the fleet")
+    chaos.add_argument("--vms", type=int, default=12, help="arrival trace length")
+    chaos.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="chaos plan seed (defaults to --seed)",
+    )
+    chaos.add_argument(
+        "--chaos-events", type=int, default=4, help="events in the plan"
+    )
 
     return parser
 
@@ -409,6 +490,7 @@ _HANDLERS = {
     "softrefresh": _cmd_softrefresh,
     "trace": _cmd_trace,
     "fleet": _cmd_fleet,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -113,6 +113,10 @@ class FleetError(ReproError):
     """Fleet-level errors (scheduling, admission, cross-host migration)."""
 
 
+class ChaosError(FleetError):
+    """Chaos-engineering errors (malformed plans, journal mismatches)."""
+
+
 class AttackError(ReproError):
     """Malformed hammering pattern or attack configuration."""
 

@@ -240,3 +240,51 @@ class FaultPlan:
             for i in range(errors)
         ]
         return cls(specs=specs, seed=seed)
+
+    @classmethod
+    def ue_storm(
+        cls,
+        socket: int,
+        bank: int,
+        row: int,
+        *,
+        errors: int,
+        words_per_row: int,
+        start: float = 0.0,
+        interval: float = 0.004,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """An uncorrectable-error storm: *errors* **two-bit** ECC_WORD
+        faults on one row — each word machine-checks on its next scrub
+        or read instead of correcting.  Distinct words, like
+        :meth:`ce_storm`, so the UE count is exactly *errors*; the DIMM
+        UE-storm chaos event drives the health monitor's ``ue_weight``
+        escalation with this plan.
+        """
+        if errors <= 0:
+            raise FaultPlanError("errors must be positive")
+        if errors > words_per_row:
+            raise FaultPlanError(
+                f"cannot place {errors} two-bit errors in {words_per_row} "
+                "distinct words"
+            )
+        if interval <= 0:
+            raise FaultPlanError("interval must be positive")
+        rng = random.Random(seed)
+        first_word = rng.randrange(words_per_row)
+        specs = []
+        for i in range(errors):
+            first_bit = rng.randrange(WORD_BITS)
+            second_bit = (first_bit + 1 + rng.randrange(WORD_BITS - 1)) % WORD_BITS
+            specs.append(
+                FaultSpec(
+                    kind=FaultKind.ECC_WORD,
+                    socket=socket,
+                    bank=bank,
+                    row=row,
+                    at_clock=start + i * interval,
+                    word=(first_word + i) % words_per_row,
+                    word_bits=(first_bit, second_bit),
+                )
+            )
+        return cls(specs=specs, seed=seed)

@@ -35,6 +35,7 @@ from repro.fleet.migration import (
     MigrationError,
     MigrationRecord,
     evacuate_degraded,
+    evacuate_host,
     migrate_vm,
     region_extents,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "SpreadScheduler",
     "derive_host_seed",
     "evacuate_degraded",
+    "evacuate_host",
     "generate_arrival_trace",
     "host_fits",
     "make_scheduler",

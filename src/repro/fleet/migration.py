@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from typing import Callable
 
 from repro import obs
 from repro.errors import FleetError, PlacementError, UncorrectableError
@@ -121,12 +122,25 @@ def _digest(host: Host, vm: VirtualMachine) -> str:
     return h.hexdigest()
 
 
-def migrate_vm(src: Host, dst: Host, name: str) -> MigrationRecord:
+def migrate_vm(
+    src: Host,
+    dst: Host,
+    name: str,
+    *,
+    corrupt: Callable[[dict[str, bytearray]], None] | None = None,
+) -> MigrationRecord:
     """Move VM *name* from *src* to *dst*; see the module docstring.
 
     Raises :class:`MigrationError` (source untouched) when the VM is not
     migratable or the destination cannot place it; propagates
     non-capacity :class:`PlacementError` as bugs.
+
+    *corrupt*, when given, is a chaos hook invoked on the in-flight
+    snapshot buffers **after** the source digest is taken — modelling a
+    transfer-path bit flip.  The destination copy then fails sha256
+    verification, the destination VM is rolled back, and the source
+    keeps serving untouched: exactly the failure-containment contract
+    the digest-corruption chaos tests pin down.
     """
     if src.host_id == dst.host_id:
         raise MigrationError(f"VM {name!r}: source and destination are host {src.host_id}")
@@ -144,6 +158,8 @@ def migrate_vm(src: Host, dst: Host, name: str) -> MigrationRecord:
 
     buffers = _snapshot_regions(src, vm)
     source_digest = _digest(src, vm)
+    if corrupt is not None:
+        corrupt(buffers)
     try:
         new_vm = dst.create_vm(spec)
     except PlacementError as exc:
@@ -184,6 +200,77 @@ def migrate_vm(src: Host, dst: Host, name: str) -> MigrationRecord:
             )
         )
     return record
+
+
+def evacuate_host(
+    fleet: Fleet,
+    host: Host,
+    scheduler: PlacementScheduler,
+    *,
+    exclude: tuple[int, ...] = (),
+    corrupt: Callable[[dict[str, bytearray]], None] | None = None,
+) -> tuple[list[MigrationRecord], list[dict]]:
+    """Drain every VM off one (crashed) host onto scheduler-chosen
+    survivors; returns ``(records, incidents)``.
+
+    VMs move in placement order; *exclude* lists host ids that must not
+    receive tenants (the other crashed hosts).  *corrupt* is a one-shot
+    chaos hook threaded into :func:`migrate_vm`: when the armed
+    migration fails digest verification it is **retried once** without
+    the transfer fault (the copy loop re-reads the authoritative source)
+    and an incident dict records the detected-and-rolled-back
+    corruption.  A VM with no viable destination is left in place with
+    an incident — graceful degradation, never a dead campaign.
+    """
+    records: list[MigrationRecord] = []
+    incidents: list[dict] = []
+    for name in list(host.vm_specs):
+        spec = host.vm_specs[name]
+        candidates = scheduler.rank(
+            fleet, spec, exclude=(host.host_id, *exclude)
+        )
+        if not candidates:
+            _log.warning(
+                "evacuation: no destination for VM %s on host %d",
+                name, host.host_id,
+            )
+            incidents.append(
+                {"incident": "no-destination", "host": host.host_id, "vm": name}
+            )
+            continue
+        try:
+            records.append(
+                migrate_vm(host, candidates[0], name, corrupt=corrupt)
+            )
+        except MigrationError as exc:
+            if corrupt is not None and "verification" in str(exc):
+                # The armed transfer fault fired; verification caught it
+                # and rolled the destination back.  Record the incident
+                # and re-run the copy clean (the hook is one-shot).
+                corrupt = None
+                incidents.append(
+                    {
+                        "incident": "digest-corruption-rollback",
+                        "host": host.host_id,
+                        "vm": name,
+                        "detail": str(exc),
+                    }
+                )
+                try:
+                    records.append(migrate_vm(host, candidates[0], name))
+                    continue
+                except MigrationError as retry_exc:
+                    exc = retry_exc
+            _log.warning("evacuation of %s failed: %s", name, exc)
+            incidents.append(
+                {
+                    "incident": "migration-failed",
+                    "host": host.host_id,
+                    "vm": name,
+                    "detail": str(exc),
+                }
+            )
+    return records, incidents
 
 
 def evacuate_degraded(

@@ -42,6 +42,15 @@ class FleetReport:
     acceptance_rate: float
     rejected_by_reason: dict[str, int] = field(default_factory=dict)
     migrations: list[dict] = field(default_factory=list)
+    #: Chaos aftermath: crashed hosts, evacuations, incidents (hashed —
+    #: deterministic given the chaos plan).
+    degraded: dict = field(default_factory=dict)
+    #: Isolation-auditor reports, in audit order (hashed, ditto).
+    audit: list[dict] = field(default_factory=list)
+    #: Supervisor bookkeeping (attempts/timeouts/deaths).  NOT hashed:
+    #: how many times a shard had to retry depends on wall-clock
+    #: scheduling and worker count, not on the simulated machine.
+    supervision: dict = field(default_factory=dict)
 
     @classmethod
     def build(
@@ -52,6 +61,9 @@ class FleetReport:
         host_results: list[dict],
         guest_capacity_bytes: int,
         migrations: list[dict] | None = None,
+        degraded: dict | None = None,
+        audit: list[dict] | None = None,
+        supervision: dict | None = None,
     ) -> "FleetReport":
         admitted = [d for d in decisions if d.admitted]
         rejected: dict[str, int] = {}
@@ -70,6 +82,9 @@ class FleetReport:
             acceptance_rate=(len(admitted) / len(decisions)) if decisions else 0.0,
             rejected_by_reason=rejected,
             migrations=list(migrations or []),
+            degraded=dict(degraded or {}),
+            audit=list(audit or []),
+            supervision=dict(supervision or {}),
         )
 
     # ------------------------------------------------------------------
@@ -87,6 +102,9 @@ class FleetReport:
             "placed_bytes": self.placed_bytes,
             "acceptance_rate": self.acceptance_rate,
             "rejected_by_reason": self.rejected_by_reason,
+            "degraded": self.degraded,
+            "audit": self.audit,
+            "supervision": self.supervision,
         }
 
     def digest(self) -> str:
@@ -98,12 +116,18 @@ class FleetReport:
         not results (the differential engine guarantees bit-identical
         outcomes), so both are scrubbed from the hashed form — that is
         precisely what lets ``--workers 4`` compare equal to
-        ``--workers 1`` and ``--backend batched`` to scalar.
+        ``--workers 1`` and ``--backend batched`` to scalar.  The
+        ``supervision`` section is scrubbed for the same reason: retry
+        counts depend on wall-clock scheduling, never on the simulated
+        machine.  The chaos aftermath (``degraded``, ``audit``) IS
+        hashed — it is deterministic given the plan, and resume must
+        reproduce it bit-identically.
         """
         doc = self.to_json()
         doc["config"] = {
             k: v for k, v in doc["config"].items() if k not in ("workers", "backend")
         }
+        doc.pop("supervision", None)
         blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -118,6 +142,15 @@ class FleetReport:
     @property
     def hosts_failed(self) -> int:
         return len(self.host_results) - self.hosts_ok
+
+    @property
+    def hosts_crashed(self) -> int:
+        return sum(1 for r in self.host_results if r.get("crashed"))
+
+    @property
+    def audit_clean(self) -> bool:
+        """True when every isolation audit found zero violations."""
+        return all(a.get("violations", 0) == 0 for a in self.audit)
 
     @property
     def utilization(self) -> float:
@@ -175,6 +208,36 @@ class FleetReport:
                     f"  migration: {m['vm']} host {m['src_host']} -> "
                     f"host {m['dst_host']} ({m['bytes_copied']} bytes)"
                 )
+        if self.degraded:
+            crashed = self.degraded.get("crashed_hosts", [])
+            lines.append(
+                f"  degraded: {len(crashed)} crashed host(s) "
+                f"{crashed}, {self.degraded.get('evacuated_vms', 0)} VM(s) "
+                f"evacuated, {len(self.degraded.get('incidents', []))} "
+                "incident(s)"
+            )
+            for inc in self.degraded.get("incidents", []):
+                lines.append(
+                    f"    incident: {inc['incident']} host {inc['host']} "
+                    f"vm {inc['vm']}"
+                )
+        if self.audit:
+            total = sum(a.get("violations", 0) for a in self.audit)
+            verdict = "clean" if total == 0 else f"{total} VIOLATION(S)"
+            lines.append(
+                f"  isolation audit: {len(self.audit)} audit(s), {verdict}"
+            )
+            for a in self.audit:
+                if a.get("violations", 0):
+                    lines.append(
+                        f"    {a['phase']}: {a['violations']} violation(s)"
+                    )
+        if self.supervision and self.supervision.get("retried", 0):
+            lines.append(
+                f"  supervision: {self.supervision['retried']} shard(s) "
+                f"retried ({self.supervision.get('worker_deaths', 0)} worker "
+                f"death(s), {self.supervision.get('timeouts', 0)} timeout(s))"
+            )
         return "\n".join(lines)
 
     def fold_into_metrics(self) -> None:
@@ -186,6 +249,14 @@ class FleetReport:
         obs.METRICS.gauge("fleet.hosts_failed").set(float(self.hosts_failed))
         obs.METRICS.gauge("fleet.acceptance_rate").set(self.acceptance_rate)
         obs.METRICS.gauge("fleet.utilization").set(self.utilization)
+        if self.degraded or self.audit:
+            obs.METRICS.gauge("fleet.hosts_crashed").set(float(self.hosts_crashed))
+            obs.METRICS.gauge("fleet.evacuated_vms").set(
+                float(self.degraded.get("evacuated_vms", 0))
+            )
+            obs.METRICS.gauge("fleet.audit_violations").set(
+                float(sum(a.get("violations", 0) for a in self.audit))
+            )
 
 
 def _config_dict(config) -> dict:

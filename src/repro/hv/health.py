@@ -367,3 +367,17 @@ class HealthMonitor:
     def tracked(self) -> list[RowGroupHealth]:
         """Every row group the monitor has seen errors on."""
         return [self._groups[k] for k in sorted(self._groups)]
+
+    def snapshot(self) -> dict:
+        """Deterministic plain-data view of every tracked row group
+        (state + error counts), keyed ``s<socket>r<row>`` in sorted
+        order — shard payloads embed this so a chaos campaign's merge
+        digest covers the health aftermath of an injected UE storm."""
+        return {
+            f"s{rg.socket}r{rg.row}": {
+                "state": rg.state.value,
+                "ce": rg.ce_count,
+                "ue": rg.ue_count,
+            }
+            for rg in self.tracked
+        }

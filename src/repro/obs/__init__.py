@@ -30,6 +30,8 @@ from typing import Optional
 from repro.obs.events import (  # noqa: F401  (public re-exports)
     ActBatchEvent,
     AdmissionEvent,
+    AuditEvent,
+    ChaosEvent,
     EccWordEvent,
     EVENT_TYPES,
     FaultInjectionEvent,

@@ -212,6 +212,28 @@ class VmMigrationEvent(TraceEvent):
 
 
 @dataclass(frozen=True)
+class ChaosEvent(TraceEvent):
+    """One chaos-engineering event was injected or handled."""
+
+    kind: ClassVar[str] = "chaos"
+    chaos: str = ""  # chaos kind tag ("host-crash", "worker-death", ...)
+    host: int = -1  # victim host id, -1 for fleet-wide events
+    detail: str = ""
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AuditEvent(TraceEvent):
+    """One isolation-invariant audit pass completed."""
+
+    kind: ClassVar[str] = "audit"
+    phase: str = ""  # "placement" | "evacuation:..." | "final"
+    hosts: int = 0  # surviving hosts audited
+    violations: int = 0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
 class SpanEvent(TraceEvent):
     """A wall-clock-timed phase (non-deterministic payload)."""
 
@@ -241,6 +263,8 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         PlacementEvent,
         AdmissionEvent,
         VmMigrationEvent,
+        ChaosEvent,
+        AuditEvent,
         SpanEvent,
     )
 }

@@ -18,6 +18,8 @@ from repro.errors import ReproError
 from repro.obs.events import (
     ActBatchEvent,
     AdmissionEvent,
+    AuditEvent,
+    ChaosEvent,
     EccWordEvent,
     FaultInjectionEvent,
     FlipEvent,
@@ -230,6 +232,11 @@ class MetricsRegistry:
         elif type(event) is VmMigrationEvent:
             self.counter("fleet.migrations").inc()
             self.counter("fleet.migrated_bytes").inc(event.bytes)
+        elif type(event) is ChaosEvent:
+            self.counter(f"chaos.{event.chaos}").inc()
+        elif type(event) is AuditEvent:
+            self.counter("audit.audits").inc()
+            self.counter("audit.violations").inc(event.violations)
         elif type(event) is SpanEvent:
             self.histogram(f"span.{event.name}.wall_ns", WALL_NS_EDGES).observe(
                 event.wall_ns

@@ -17,7 +17,10 @@ backends and diffs the transcripts.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
+import threading
 
 import pytest
 
@@ -35,6 +38,41 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "tier2" not in item.keywords:
             item.add_marker(pytest.mark.tier1)
+
+
+#: Per-test wall-clock ceiling (seconds).  The chaos tests spawn and
+#: kill real worker processes; a supervisor bug that hangs a join must
+#: fail the one test, not wedge the whole CI job.  Implemented with
+#: SIGALRM (no pytest-timeout dependency); override with
+#: ``REPRO_TEST_TIMEOUT_S=0`` to disable (e.g. under a debugger).
+GLOBAL_TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "300"))
+
+
+@pytest.fixture(autouse=True)
+def _global_test_timeout(request):
+    """Fail any test that exceeds the global wall-clock ceiling."""
+    if (
+        GLOBAL_TEST_TIMEOUT_S <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"{request.node.nodeid} exceeded the global "
+            f"{GLOBAL_TEST_TIMEOUT_S:.0f}s test timeout",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, GLOBAL_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # ---------------------------------------------------------------------------

@@ -98,10 +98,41 @@ class TestTrackedMetrics:
         assert check_trajectory.main([str(prev), str(cur)]) == 1
         assert "REGRESSED" in capsys.readouterr().out
 
-    def test_fig5_regression_fails(self, tmp_path):
+    def test_fig5_regression_below_clamp_fails(self, tmp_path, capsys):
+        # fig5 is noisy across runners, so its relative floor is clamped
+        # at 1.30x — but dropping below the clamp itself still fails.
+        prev = _full_bench_json(tmp_path, "prev.json", fig5=3.0)
+        cur = _full_bench_json(tmp_path, "cur.json", fig5=1.2)
+        assert check_trajectory.main([str(prev), str(cur)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_fig5_floor_is_clamped_for_cross_runner_variance(
+        self, tmp_path, capsys
+    ):
+        # A lucky 3.0x previous point must not ratchet the floor past
+        # the 1.30x clamp: an honest 2.0x on slower hardware passes.
         prev = _full_bench_json(tmp_path, "prev.json", fig5=3.0)
         cur = _full_bench_json(tmp_path, "cur.json", fig5=2.0)
+        assert check_trajectory.main([str(prev), str(cur)]) == 0
+        out = capsys.readouterr().out
+        assert "floor clamped" in out
+        assert "1.30" in out
+
+    def test_unclamped_metric_floor_still_ratchets(self, tmp_path):
+        # table3 has no clamp entry: the plain relative floor applies.
+        prev = _full_bench_json(tmp_path, "prev.json", speedup=3.0)
+        cur = _full_bench_json(tmp_path, "cur.json", speedup=2.0)
         assert check_trajectory.main([str(prev), str(cur)]) == 1
+
+    def test_tracing_ceiling_clamped_against_lucky_negative_point(
+        self, tmp_path, capsys
+    ):
+        # A lucky -1.33% previous point must not force future runs to
+        # also measure negative: the ceiling never drops below +1pp.
+        prev = _full_bench_json(tmp_path, "prev.json", overhead=-1.33)
+        cur = _full_bench_json(tmp_path, "cur.json", overhead=0.8)
+        assert check_trajectory.main([str(prev), str(cur)]) == 0
+        assert "ceiling clamped" in capsys.readouterr().out
 
     def test_tracing_overhead_rise_fails(self, tmp_path, capsys):
         # "down" metric: overhead climbing past previous + 1pt fails.
