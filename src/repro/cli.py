@@ -14,7 +14,11 @@ Gives operators the paper's experiments without writing code:
   admission control, and per-host simulations sharded across supervised
   workers, with optional chaos (``--chaos-seed``) and checkpoint/resume
   (``--journal`` / ``--resume``),
-- ``chaos`` — print the chaos plan a seeded campaign would apply.
+- ``chaos`` — print the chaos plan a seeded campaign would apply,
+- ``bakeoff`` — run identical seeded fleet campaigns under each
+  registered Rowhammer mitigation (Siloz, PARA, CATT, domain-buddy,
+  guard-row striping, and the unmitigated baseline) and print the
+  containment / capacity-loss / overhead comparison table.
 
 Any command can be observed: ``--trace FILE`` writes the JSONL event
 log, ``--chrome-trace FILE`` writes a ``chrome://tracing`` file, and
@@ -250,6 +254,7 @@ def _fleet_config(args: argparse.Namespace):
         max_retries=args.max_retries,
         chaos_seed=getattr(args, "chaos_seed", None),
         chaos_events=getattr(args, "chaos_events", 4),
+        mitigation=getattr(args, "mitigation", "siloz"),
     )
 
 
@@ -281,6 +286,37 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     # still fail the run.
     unplanned = report.hosts_failed - report.hosts_crashed
     return 0 if unplanned == 0 and report.audit_clean else 1
+
+
+def _cmd_bakeoff(args: argparse.Namespace) -> int:
+    from repro.errors import FleetError, MitigationError
+    from repro.mitigations.bakeoff import BakeoffConfig, run_bakeoff
+
+    mitigations: tuple = ()
+    if args.mitigations:
+        mitigations = tuple(
+            name.strip() for name in args.mitigations.split(",") if name.strip()
+        )
+    try:
+        config = BakeoffConfig(
+            mitigations=mitigations,
+            hosts=args.hosts,
+            vms=args.vms,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers,
+            budget=args.budget,
+            policy=args.policy,
+            scenario=args.scenario,
+            storm_errors=args.storm_errors,
+        )
+        report = run_bakeoff(config)
+    except (MitigationError, FleetError) as exc:
+        print(f"repro bakeoff: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_table())
+    print(f"bakeoff digest: {report.digest()}")
+    return 0 if report.clean else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -436,6 +472,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=2, help="placement retries before eviction"
     )
     fleet.add_argument(
+        "--mitigation",
+        default="siloz",
+        help="Rowhammer mitigation every host boots with (see "
+        "'repro bakeoff' for the registered names)",
+    )
+    fleet.add_argument(
         "--chaos-seed",
         type=int,
         default=None,
@@ -460,6 +502,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="resume a killed campaign: replay completed shards from the "
         "journal FILE, run only what's missing, keep journalling to it",
+    )
+
+    bakeoff = sub.add_parser(
+        "bakeoff",
+        help="compare Rowhammer mitigations on identical seeded fleets",
+    )
+    bakeoff.add_argument(
+        "--mitigations",
+        default="",
+        metavar="CSV",
+        help="comma-separated mitigation names (default: all registered)",
+    )
+    bakeoff.add_argument("--hosts", type=int, default=4, help="hosts per campaign")
+    bakeoff.add_argument(
+        "--vms", type=int, default=8, help="tenant arrival trace length"
+    )
+    bakeoff.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per campaign (digest is worker-independent)",
+    )
+    bakeoff.add_argument(
+        "--budget",
+        type=int,
+        default=150,
+        help="fuzzer patterns per attacked host (150 reliably leaks on the "
+        "unmitigated baseline)",
+    )
+    bakeoff.add_argument(
+        "--policy",
+        choices=("first-fit", "best-fit", "spread"),
+        default="best-fit",
+        help="placement scheduler",
+    )
+    bakeoff.add_argument(
+        "--scenario",
+        choices=("attack", "health"),
+        default="attack",
+        help="per-host campaign scenario",
+    )
+    bakeoff.add_argument(
+        "--storm-errors", type=int, default=20, help="CE storm size (health)"
     )
 
     chaos = sub.add_parser(
@@ -491,6 +576,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "fleet": _cmd_fleet,
     "chaos": _cmd_chaos,
+    "bakeoff": _cmd_bakeoff,
 }
 
 

@@ -183,10 +183,7 @@ class SilozHypervisor(Hypervisor):
     # ------------------------------------------------------------------
 
     def _reserved_node_ids(self) -> set[int]:
-        reserved: set[int] = set()
-        for vm in self.vms.values():
-            reserved.update(vm.node_ids)
-        return reserved
+        return self._nodes_unavailable_for_placement()
 
     def _socket_preference(self, spec: VmSpec, free_nodes) -> dict[int, int]:
         """Rank sockets for this VM.  "pack" honours spec.socket then

@@ -102,6 +102,10 @@ class PlacementError(HvError):
         return self.requested_groups is not None
 
 
+class MitigationError(HvError):
+    """Mitigation-layer errors (unknown mitigation name, bad knobs)."""
+
+
 class IsolationViolation(ReproError):
     """An invariant check found data outside its isolation domain.
 

@@ -77,6 +77,11 @@ class CampaignConfig:
     queue_depth: int = 64
     max_retries: int = 2
     vm_sizes_mib: tuple[int, ...] = (1, 2, 2, 3, 4)
+    #: Registered mitigation every host boots under ("siloz", "none",
+    #: "para", "catt", "domain-buddy", "guard-rows").  The bake-off
+    #: harness sweeps this; part of the merge digest because the defence
+    #: legitimately changes results.
+    mitigation: str = "siloz"
     #: Chaos: seed for the generated :class:`ChaosPlan` (None = no chaos)
     #: and how many events the plan schedules.  Part of the config — and
     #: of the merge digest — because chaos legitimately changes results;
@@ -93,6 +98,13 @@ class CampaignConfig:
             raise FleetError(f"unknown scenario {self.scenario!r}; know {SCENARIOS}")
         if self.chaos_events < 0:
             raise FleetError("chaos_events must be non-negative")
+        from repro.mitigations import mitigation_names
+
+        if self.mitigation not in mitigation_names():
+            raise FleetError(
+                f"unknown mitigation {self.mitigation!r}; "
+                f"know {mitigation_names()}"
+            )
 
 
 @dataclass(frozen=True)
@@ -125,6 +137,7 @@ def _attack_result(host: Host, task: HostTask) -> dict:
         "flips": len(outcome.flips_inside) + len(outcome.flips_escaped),
         "escaped": len(outcome.flips_escaped),
         "victim_flips": sum(outcome.victim_flips.values()),
+        "victims": len(outcome.victim_flips),
         "contained": outcome.contained,
     }
 
@@ -284,6 +297,7 @@ def run_host_task(task: HostTask, attempt: int = 1) -> dict:
             "vms": [s.name for s in task.vm_specs],
             "placed_bytes": sum(s.memory_bytes for s in task.vm_specs),
             "scenario": task.scenario,
+            "mitigation": host.mitigation.host_report(host),
             **payload,
         }
         if chaos_notes:
@@ -350,7 +364,11 @@ class FleetCampaign:
         """
         cfg = self.config
         self.fleet = Fleet.boot(
-            cfg.hosts, seed=cfg.seed, sockets=cfg.sockets, backend=cfg.backend
+            cfg.hosts,
+            seed=cfg.seed,
+            sockets=cfg.sockets,
+            backend=cfg.backend,
+            mitigation=cfg.mitigation,
         )
         self.guest_capacity_bytes = sum(
             n.total_bytes

@@ -1,12 +1,19 @@
-"""One Siloz host inside a simulated fleet.
+"""One mitigated host inside a simulated fleet.
 
 A :class:`Host` bundles what PR 0–3 built for a single server —
-:class:`~repro.hv.machine.Machine`, :class:`~repro.core.siloz.SilozHypervisor`,
-and the :class:`~repro.hv.health.HealthMonitor` — behind the accounting
-the fleet layer needs: per-host capacity snapshots (free subarray-group
-nodes, guard-row reservations), the VM specs it admitted (so a VM can be
+:class:`~repro.hv.machine.Machine`, a hypervisor, and the
+:class:`~repro.hv.health.HealthMonitor` — behind the accounting the
+fleet layer needs: per-host capacity snapshots (free placement nodes,
+guard-row reservations), the VM specs it admitted (so a VM can be
 re-created elsewhere during migration), and a loud isolation check that
 runs after every placement.
+
+Which hypervisor a host boots is decided by its
+:class:`~repro.mitigations.base.Mitigation` (``HostSpec.mitigation``,
+default ``"siloz"``): the bake-off harness runs whole fleets under
+rival defences through exactly this path, and the isolation check
+enforces each mitigation's *own* invariants (a shared-pool baseline
+legitimately co-locates tenants; Siloz never may).
 
 Hosts are described by a frozen, picklable :class:`HostSpec` so the
 campaign driver can re-boot a bit-identical host inside a worker
@@ -21,13 +28,12 @@ import hashlib
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.core.policy import audit_hypervisor
-from repro.core.siloz import SilozHypervisor
-from repro.errors import FleetError, IsolationViolation
-from repro.hv.hypervisor import CapacitySnapshot, VmSpec
+from repro.errors import FleetError
+from repro.hv.hypervisor import CapacitySnapshot, Hypervisor, VmSpec
 from repro.hv.machine import Machine
 from repro.hv.vm import VirtualMachine
 from repro.log import get_logger
+from repro.mitigations import Mitigation, make_mitigation
 
 _log = get_logger("fleet.host")
 
@@ -55,6 +61,9 @@ class HostSpec:
     seed: int = 0
     sockets: int = 1
     backend: str = "scalar"
+    #: Registered mitigation the host boots under (see
+    #: :mod:`repro.mitigations.impls`).
+    mitigation: str = "siloz"
 
     def __post_init__(self) -> None:
         if self.host_id < 0:
@@ -64,11 +73,18 @@ class HostSpec:
 
 
 class Host:
-    """One booted Siloz server plus fleet-level bookkeeping."""
+    """One booted, mitigated server plus fleet-level bookkeeping."""
 
-    def __init__(self, spec: HostSpec, hv: SilozHypervisor):
+    def __init__(
+        self,
+        spec: HostSpec,
+        hv: Hypervisor,
+        mitigation: Mitigation | None = None,
+    ):
         self.spec = spec
         self.hv = hv
+        #: The defence this host runs (owns the isolation invariants).
+        self.mitigation = mitigation or make_mitigation(spec.mitigation)
         self.monitor = hv.enable_health_monitoring()
         #: VmSpecs admitted to this host, in placement order.  Migration
         #: re-creates a VM on its destination from this record, and the
@@ -77,11 +93,14 @@ class Host:
 
     @classmethod
     def boot(cls, spec: HostSpec) -> "Host":
-        """Boot a bit-level small machine and Siloz on it."""
+        """Boot a bit-level small machine and the spec's mitigation."""
+        mitigation = make_mitigation(spec.mitigation)
         machine = Machine.small(
             sockets=spec.sockets, seed=spec.seed, backend=spec.backend
         )
-        return cls(spec, SilozHypervisor.boot(machine))
+        hv = mitigation.boot(machine)
+        mitigation.attach(hv, seed=spec.seed)
+        return cls(spec, hv, mitigation=mitigation)
 
     # ------------------------------------------------------------------
     # Placement
@@ -131,24 +150,10 @@ class Host:
         return bool(self.hv.offline.pending)
 
     def assert_isolation(self) -> None:
-        """The fleet invariant, checked loudly: no subarray group is
-        reserved by two VMs, and the single-host audit is clean."""
-        claimed: dict[tuple, str] = {}
-        for vm in self.hv.vms.values():
-            for group in vm.reserved_groups:
-                other = claimed.get(group)
-                if other is not None and other != vm.name:
-                    raise IsolationViolation(
-                        f"host {self.host_id}: subarray group {group} reserved "
-                        f"by both {other!r} and {vm.name!r}"
-                    )
-                claimed[group] = vm.name
-        violations = audit_hypervisor(self.hv)
-        if violations:
-            raise IsolationViolation(
-                f"host {self.host_id}: isolation audit found "
-                f"{len(violations)} violation(s): {violations[0]}"
-            )
+        """The fleet invariant, checked loudly: no protection domain
+        holds two tenants (unless the mitigation declares shared
+        domains) and the mitigation's enforced audit subset is clean."""
+        self.mitigation.assert_isolation(self)
 
     def __repr__(self) -> str:
         cap = self.capacity()
@@ -173,8 +178,9 @@ class Fleet:
         seed: int = 0,
         sockets: int = 1,
         backend: str = "scalar",
+        mitigation: str = "siloz",
     ) -> "Fleet":
-        """Boot *n_hosts* small Siloz hosts with derived per-host seeds."""
+        """Boot *n_hosts* small mitigated hosts with derived seeds."""
         if n_hosts <= 0:
             raise FleetError("a fleet needs at least one host")
         return cls(
@@ -185,6 +191,7 @@ class Fleet:
                         seed=derive_host_seed(seed, i),
                         sockets=sockets,
                         backend=backend,
+                        mitigation=mitigation,
                     )
                 )
                 for i in range(n_hosts)

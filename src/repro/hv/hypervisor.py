@@ -401,6 +401,19 @@ class Hypervisor:
 
     # -- introspection ---------------------------------------------------
 
+    def _nodes_unavailable_for_placement(self) -> set[int]:
+        """Node ids a *new* tenant may not be placed on.
+
+        The default is exclusive-reservation semantics: every node any
+        VM holds is off the table (Siloz, CATT).  Shared-pool
+        hypervisors override this to ``set()`` so capacity reflects the
+        pool's remaining free bytes rather than going to zero after the
+        first tenant."""
+        reserved: set[int] = set()
+        for vm in self.vms.values():
+            reserved.update(vm.node_ids)
+        return reserved
+
     def capacity(self) -> CapacitySnapshot:
         """Read-only snapshot of this host's placement capacity.
 
@@ -410,9 +423,7 @@ class Hypervisor:
         """
         from repro.mm.offline import OfflineReason
 
-        reserved: set[int] = set()
-        for vm in self.vms.values():
-            reserved.update(vm.node_ids)
+        reserved = self._nodes_unavailable_for_placement()
         free_guest = tuple(
             n.node_id
             for n in self.topology.nodes_of_kind(NodeKind.GUEST_RESERVED)

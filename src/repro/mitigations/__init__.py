@@ -1,0 +1,46 @@
+"""Pluggable Rowhammer mitigations and the bake-off harness.
+
+- :mod:`repro.mitigations.base` — the :class:`Mitigation` interface,
+  capacity accounting, and the registry.
+- :mod:`repro.mitigations.hypervisors` — the rival placement policies
+  (shared pool, guard stripes, CATT partitions).
+- :mod:`repro.mitigations.para` — the PARA probabilistic-refresh DRAM
+  hook.
+- :mod:`repro.mitigations.impls` — the registered mitigations
+  (``none``, ``siloz``, ``para``, ``catt``, ``domain-buddy``,
+  ``guard-rows``).
+- :mod:`repro.mitigations.bakeoff` — the fleet-driven bake-off
+  campaign runner and :class:`BakeoffReport` (import it explicitly; it
+  pulls in :mod:`repro.fleet`).
+"""
+
+from repro.mitigations.base import (
+    ALL_AUDIT_KINDS,
+    MITIGATIONS,
+    Mitigation,
+    MitigationCapacity,
+    make_mitigation,
+    mitigation_names,
+    register,
+)
+from repro.mitigations.hypervisors import (
+    CattHypervisor,
+    GuardStripeHypervisor,
+    SharedPoolHypervisor,
+)
+from repro.mitigations.para import ParaRefreshHook
+from repro.mitigations import impls as _impls  # noqa: F401  (registers)
+
+__all__ = [
+    "ALL_AUDIT_KINDS",
+    "MITIGATIONS",
+    "Mitigation",
+    "MitigationCapacity",
+    "CattHypervisor",
+    "GuardStripeHypervisor",
+    "SharedPoolHypervisor",
+    "ParaRefreshHook",
+    "make_mitigation",
+    "mitigation_names",
+    "register",
+]

@@ -31,6 +31,7 @@ from repro.obs.events import (  # noqa: F401  (public re-exports)
     ActBatchEvent,
     AdmissionEvent,
     AuditEvent,
+    BakeoffEvent,
     ChaosEvent,
     EccWordEvent,
     EVENT_TYPES,

@@ -234,6 +234,20 @@ class AuditEvent(TraceEvent):
 
 
 @dataclass(frozen=True)
+class BakeoffEvent(TraceEvent):
+    """One mitigation finished its bake-off campaign."""
+
+    kind: ClassVar[str] = "bakeoff"
+    mitigation: str = ""
+    containment_rate: float = 1.0
+    escaped_flips: int = 0
+    victim_flips: int = 0
+    loss_fraction: float = 0.0
+    refreshes_per_kact: float = 0.0
+    when: Optional[float] = None
+
+
+@dataclass(frozen=True)
 class SpanEvent(TraceEvent):
     """A wall-clock-timed phase (non-deterministic payload)."""
 
@@ -265,6 +279,7 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         VmMigrationEvent,
         ChaosEvent,
         AuditEvent,
+        BakeoffEvent,
         SpanEvent,
     )
 }

@@ -19,6 +19,7 @@ from repro.obs.events import (
     ActBatchEvent,
     AdmissionEvent,
     AuditEvent,
+    BakeoffEvent,
     ChaosEvent,
     EccWordEvent,
     FaultInjectionEvent,
@@ -237,6 +238,14 @@ class MetricsRegistry:
         elif type(event) is AuditEvent:
             self.counter("audit.audits").inc()
             self.counter("audit.violations").inc(event.violations)
+        elif type(event) is BakeoffEvent:
+            self.counter("bakeoff.campaigns").inc()
+            m = event.mitigation
+            self.gauge(f"bakeoff.{m}.containment_rate").set(event.containment_rate)
+            self.gauge(f"bakeoff.{m}.loss_fraction").set(event.loss_fraction)
+            self.gauge(f"bakeoff.{m}.refreshes_per_kact").set(
+                event.refreshes_per_kact
+            )
         elif type(event) is SpanEvent:
             self.histogram(f"span.{event.name}.wall_ns", WALL_NS_EDGES).observe(
                 event.wall_ns

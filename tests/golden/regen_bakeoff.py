@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Regenerate the golden bake-off digests in ``tests/golden/``.
+
+Run from the repo root after any change that *intentionally* moves a
+mitigation's behaviour (placement, audit filtering, attack outcome,
+capacity accounting, report fields)::
+
+    PYTHONPATH=src python tests/golden/regen_bakeoff.py
+
+One fixture per registered mitigation (``bakeoff_<name>.json``), each
+pinning that mitigation's :meth:`BakeoffReport.mitigation_digest` for
+the canonical scenario below, plus the headline numbers so a diff of
+the fixture shows *what* moved, not just that something did.  Digests
+are backend- and worker-count-independent, so regenerating on any
+machine yields identical fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+#: The pinned scenario: small fleet, the seed where the unmitigated
+#: baseline demonstrably corrupts a victim VM at the default budget.
+SCENARIO = dict(hosts=2, vms=4, seed=7, budget=150)
+
+
+def compute_reports():
+    from repro.mitigations.bakeoff import BakeoffConfig, run_bakeoff
+
+    # Vectorized purely for speed: the digest is backend-independent.
+    return run_bakeoff(BakeoffConfig(backend="vectorized", **SCENARIO))
+
+
+def main() -> int:
+    report = compute_reports()
+    for entry in report.entries:
+        name = entry["mitigation"]
+        fixture = {
+            "mitigation": name,
+            "scenario": SCENARIO,
+            "digest": report.mitigation_digest(name),
+            "containment_rate": entry["containment"]["containment_rate"],
+            "victim_flips": entry["containment"]["victim_flips"],
+            "escaped_flips": entry["containment"]["escaped_flips"],
+            "loss_fraction": entry["capacity"].get("loss_fraction", 0.0),
+            "fleet_digest": entry["fleet"]["digest"],
+        }
+        path = GOLDEN_DIR / f"bakeoff_{name}.json"
+        path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.relative_to(GOLDEN_DIR.parents[1])}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -126,6 +126,70 @@ class TestAttackStack:
         assert profiles["scalar"], "blast measurement produced no flips"
 
 
+class TestMitigationDifferential:
+    """Every registered mitigation must keep the bit-identity contract:
+    one micro fleet campaign per mitigation, same merged
+    :class:`BakeoffReport` digest on all three backends."""
+
+    def _micro(self, mitigation: str, backend: str, seed: int = 0):
+        from repro.mitigations.bakeoff import BakeoffConfig, run_bakeoff
+
+        return run_bakeoff(
+            BakeoffConfig(
+                mitigations=(mitigation,),
+                hosts=2,
+                vms=4,
+                seed=seed,
+                budget=2,
+                backend=backend,
+            )
+        )
+
+    @pytest.mark.parametrize("mitigation", (
+        "none", "siloz", "para", "catt", "domain-buddy", "guard-rows",
+    ))
+    def test_bakeoff_digest_backend_independent(self, mitigation):
+        reports = {b: self._micro(mitigation, b) for b in BACKENDS}
+        for backend in BACKENDS[1:]:
+            assert (
+                reports["scalar"].mitigation_digest(mitigation)
+                == reports[backend].mitigation_digest(mitigation)
+            ), f"{mitigation} diverged on {backend}"
+            assert reports["scalar"].digest() == reports[backend].digest()
+
+
+@pytest.mark.tier2
+class TestMitigationDifferentialFuzz:
+    """Satellite: seed-swept mitigation bit-identity (separate CI job).
+
+    Each seed exercises one mitigation (round-robin) on scalar vs
+    vectorized — the pair that actually shares no hot-path code."""
+
+    @pytest.mark.parametrize("seed", range(200, 250))
+    def test_bakeoff_digest_fuzz_seed(self, seed):
+        from repro.mitigations import mitigation_names
+        from repro.mitigations.bakeoff import BakeoffConfig, run_bakeoff
+
+        names = mitigation_names()
+        mitigation = names[seed % len(names)]
+        digests = {}
+        for backend in ("scalar", "vectorized"):
+            report = run_bakeoff(
+                BakeoffConfig(
+                    mitigations=(mitigation,),
+                    hosts=2,
+                    vms=4,
+                    seed=seed,
+                    budget=3,
+                    backend=backend,
+                )
+            )
+            digests[backend] = report.digest()
+        assert digests["scalar"] == digests["vectorized"], (
+            f"{mitigation} diverged at seed {seed}"
+        )
+
+
 class TestControllerDecode:
     """The controllers' flat-decode fast path vs the MediaAddress path."""
 
