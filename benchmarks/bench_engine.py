@@ -8,7 +8,11 @@ Times the two benchmark workloads the fast engines were built for:
   scalar golden reference;
 - a Figure 5-style throughput sweep (controller traces dominated by
   physical→media decode — exercises the memoized flat decode in
-  ``repro.dram.mapping``), flat decode vs the MediaAddress reference.
+  ``repro.dram.mapping``), flat decode vs the MediaAddress reference;
+- the same Figure 5 campaign *end-to-end* on the vectorized pipeline
+  (numpy trace synthesis in ``repro.workloads.trace`` feeding the
+  segmented closed forms in ``repro.memctrl.pipeline``) vs the scalar
+  reference path.
 
 Both comparisons first assert the outputs are *identical* — a speedup
 that changes results is a bug, not a win — then record wall times and
@@ -38,6 +42,7 @@ CAMPAIGN_TARGET = 2.0  # batched over scalar (attack hot path)
 VECTOR_TARGET = 2.0  # vectorized over batched
 VECTOR_SCALAR_TARGET = 9.0  # vectorized over scalar
 DECODE_TARGET = 1.0  # regression guard: never slower than reference
+FIG5_E2E_TARGET = 20.0  # vectorized workload→memctrl pipeline over scalar
 
 _RESULTS: dict = {
     "bench": "engine",
@@ -259,4 +264,75 @@ def test_engine_decode_speedup(benchmark):
     assert speedup >= DECODE_TARGET, (
         f"flat decode slower than reference ({speedup:.2f}x); "
         "see BENCH_engine.json"
+    )
+
+
+def test_engine_fig5_e2e_speedup(benchmark):
+    """End-to-end Figure 5 campaign: scalar vs vectorized pipeline.
+
+    Unlike the decode micro-comparison above, this times the *whole*
+    workload→memctrl path per backend — trace synthesis
+    (``generate_trace`` vs the one-transplant numpy batch), decode, and
+    controller scheduling (scalar fold vs segmented closed forms) — over
+    the full Figure 5 workload sweep on both systems.  Gate: vectorized
+    ≥20× over scalar with bit-identical TraceResults, or the speedup is
+    void."""
+    from repro.eval.experiments import baseline_system, siloz_system
+    from repro.workloads import THROUGHPUT_SUITES
+    from repro.workloads.runner import run_in_vm
+
+    workloads = list(THROUGHPUT_SUITES)
+
+    def _systems(backend: str):
+        return [
+            baseline_system(seed=51, backend=backend),
+            siloz_system(seed=51, backend=backend),
+        ]
+
+    def _sweep(systems):
+        return [
+            vars(
+                run_in_vm(
+                    system.hv, system.vm, workload, accesses=12_000, trial=trial
+                ).trace
+            )
+            for system in systems
+            for workload in workloads
+            for trial in range(2)
+        ]
+
+    def _measure():
+        scalar_systems = _systems("scalar")
+        vector_systems = _systems("vectorized")
+        scalar_s, scalar_out = _time_best(
+            lambda: _sweep(scalar_systems), repeats=2, warmup=1
+        )
+        vector_s, vector_out = _time_best(
+            lambda: _sweep(vector_systems), repeats=5, warmup=1
+        )
+        return scalar_s, scalar_out, vector_s, vector_out
+
+    scalar_s, scalar_out, vector_s, vector_out = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    assert scalar_out == vector_out, "vectorized pipeline diverged: speedup is void"
+    speedup = scalar_s / vector_s
+    print(banner("Engine: Figure 5 campaign end-to-end, scalar vs vectorized"))
+    print(
+        f"scalar {scalar_s * 1e3:8.1f} ms   vectorized {vector_s * 1e3:8.1f} ms"
+        f"   speedup {speedup:.2f}x (target >= {FIG5_E2E_TARGET}x)"
+    )
+    _record(
+        "fig5_e2e",
+        {
+            "scalar_seconds": round(scalar_s, 6),
+            "vectorized_seconds": round(vector_s, 6),
+            "speedup": round(speedup, 3),
+            "target": FIG5_E2E_TARGET,
+            "identical_results": True,
+        },
+    )
+    assert speedup >= FIG5_E2E_TARGET, (
+        f"end-to-end fig5 pipeline only {speedup:.2f}x over scalar "
+        f"(target {FIG5_E2E_TARGET}x); see BENCH_engine.json"
     )

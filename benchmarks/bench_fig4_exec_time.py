@@ -16,7 +16,12 @@ ACCESSES = 12_000
 
 
 def _run():
-    systems = [baseline_system(seed=40), siloz_system(seed=40)]
+    # Vectorized pipeline: bit-identical to scalar (tests/test_differential.py),
+    # ≥20x faster end-to-end (BENCH_engine.json "fig5_e2e").
+    systems = [
+        baseline_system(seed=40, backend="vectorized"),
+        siloz_system(seed=40, backend="vectorized"),
+    ]
     return perf_experiment(
         systems,
         list(EXEC_TIME_SUITES),

@@ -17,11 +17,11 @@ ACCESSES = 12_000
 
 
 def _run():
-    # Batched engine: identical results to scalar (tests/test_differential.py),
-    # measured faster in BENCH_engine.json.
+    # Vectorized pipeline: bit-identical to scalar (tests/test_differential.py),
+    # ≥20x faster end-to-end (BENCH_engine.json "fig5_e2e").
     systems = [
-        baseline_system(seed=50, backend="batched"),
-        siloz_system(seed=50, backend="batched"),
+        baseline_system(seed=50, backend="vectorized"),
+        siloz_system(seed=50, backend="vectorized"),
     ]
     return perf_experiment(
         systems,

@@ -19,9 +19,15 @@ ACCESSES = 12_000
 
 def _run():
     systems = [
-        siloz_system(name="siloz-1024", rows_per_subarray=128, seed=60),
-        siloz_system(name="siloz-512", rows_per_subarray=64, seed=60),
-        siloz_system(name="siloz-2048", rows_per_subarray=256, seed=60),
+        siloz_system(
+            name="siloz-1024", rows_per_subarray=128, seed=60, backend="vectorized"
+        ),
+        siloz_system(
+            name="siloz-512", rows_per_subarray=64, seed=60, backend="vectorized"
+        ),
+        siloz_system(
+            name="siloz-2048", rows_per_subarray=256, seed=60, backend="vectorized"
+        ),
     ]
     return perf_experiment(
         systems,

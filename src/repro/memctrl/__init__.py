@@ -8,15 +8,18 @@ ablation that motivates subarray *groups* over single-subarray placement
 (§4.1).
 """
 
-from repro.memctrl.timings import DDR4Timings
+from repro.memctrl.timings import DDR4Timings, quantize_ns
 from repro.memctrl.controller import AccessKind, MemoryAccess, MemoryController, TraceResult
+from repro.memctrl.frfcfs import FrFcfsController
 from repro.memctrl.interleave import RestrictedInterleaveMapping
 
 __all__ = [
     "AccessKind",
     "DDR4Timings",
+    "FrFcfsController",
     "MemoryAccess",
     "MemoryController",
     "RestrictedInterleaveMapping",
     "TraceResult",
+    "quantize_ns",
 ]

@@ -15,20 +15,43 @@ captures exactly the effects the paper's performance arguments rest on:
   §5.2).
 - **Subarray-size independence**: nothing in the timing path depends on
   the row or subarray index (§7.4's expectation of no trend).
+
+The replay is structured as three feed-forward passes so that the
+vectorized backend (:mod:`repro.memctrl.pipeline`) can compute it with
+numpy closed forms while staying bit-identical to this scalar loop:
+
+1. **Classify** — row-buffer hit/idle/conflict per access.  Under the
+   fixed-grid refresh model this depends only on the per-bank access
+   *sequence*, never on timing.
+2. **Estimate** — an unthrottled service-completion estimate ``D0`` per
+   access: arrival + NUMA + refresh blackout + bus chain + bank chain.
+3. **Issue & serve** — the issue clock advances by CPU gaps but may not
+   run more than ``max_outstanding`` requests ahead of completed
+   service: ``now_i = max(now_{i-1} + gap_i, max_{j<=i-K} D0_j)``
+   (the core's MLP backpressure).  The final service chains (refresh,
+   bus, bank) then run against the throttled issue times.
+
+Every quantity lives on the :data:`~repro.memctrl.timings.TICKS_PER_NS`
+dyadic grid, so all float arithmetic here is exact — the property that
+makes scalar fold and vectorized closed form agree bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Protocol
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol
 
 from repro import obs
 from repro.dram.geometry import DRAMGeometry
 from repro.dram.media import MediaAddress
+from repro.engine.backend import SimBackend
 from repro.errors import MemCtrlError
-from repro.memctrl.scheduler import BankState, ChannelState
-from repro.memctrl.timings import DDR4Timings
+from repro.memctrl.scheduler import ChannelState
+from repro.memctrl.timings import DDR4Timings, quantize_ns
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (numpy layer)
+    from repro.memctrl.pipeline import AccessBatch
 
 
 class AccessKind(Enum):
@@ -79,7 +102,7 @@ class TraceResult:
     banks_touched: int = 0
     refreshes: int = 0
     #: tag -> (accesses, cumulative latency ns) for shared-run studies.
-    per_tag: dict = field(default_factory=dict)
+    per_tag: dict[int, tuple[int, float]] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -123,6 +146,7 @@ class MemoryController:
         *,
         max_outstanding: int = 10,
         page_policy: str = "open",
+        backend: SimBackend | str = SimBackend.BATCHED,
     ):
         if max_outstanding < 1:
             raise MemCtrlError("max_outstanding must be >= 1")
@@ -133,26 +157,74 @@ class MemoryController:
         # Fast decode (repro.engine): SkylakeMapping exposes an LRU-cached
         # flat decoder; other DecodesToMedia implementations (e.g. the
         # restricted-interleave mapping in tests) fall back to .decode.
-        self._decode_flat = getattr(mapping, "decode_flat", None)
+        self._decode_flat: Callable[[int], tuple[int, int, int, int]] | None = getattr(
+            mapping, "decode_flat", None
+        )
         self.timings = timings or DDR4Timings.ddr4_2933()
         self.max_outstanding = max_outstanding
         #: "open" keeps rows in the buffer (hits possible, conflicts pay
         #: tRP); "closed" auto-precharges after every access (no hits,
         #: no conflicts — better for random traffic, worse for streams).
         self.page_policy = page_policy
+        #: SCALAR decodes per access; BATCHED bulk-decodes but keeps the
+        #: scalar timing loop; VECTORIZED runs the whole pipeline in
+        #: numpy.  All three are bit-identical (tests/test_differential).
+        self.backend = SimBackend.parse(backend)
+
+    # ------------------------------------------------------------------
+    # public entry points
 
     def run_trace(self, trace: Iterable[MemoryAccess]) -> TraceResult:
         """Replay *trace* in order; returns aggregate statistics.
 
         The issuer models a core with ``max_outstanding`` in-flight
-        requests (its MLP): issue stalls until the oldest outstanding
-        request completes, so memory backpressure reaches the CPU —
-        that is how bank serialization turns into execution time.
-        State (row buffers, bus occupancy) is fresh per call, so results
-        are deterministic functions of the trace.
+        requests (its MLP): issue may not run further ahead than the
+        completion estimate of the request ``max_outstanding`` back, so
+        memory backpressure reaches the CPU — that is how bank
+        serialization turns into execution time.  State (row buffers,
+        bus occupancy) is fresh per call, so results are deterministic
+        functions of the trace.
         """
+        accesses = trace if isinstance(trace, list) else list(trace)
+        if not accesses:
+            raise MemCtrlError("empty trace")
         with obs.span("memctrl.run_trace"):
-            return self._run_trace(trace)
+            if self.backend is SimBackend.VECTORIZED:
+                from repro.memctrl.pipeline import AccessBatch
+
+                return self._finish(self._run_vectorized(AccessBatch.from_accesses(accesses)))
+            return self._finish(self._run_scalar(accesses))
+
+    def run_batch(self, batch: "AccessBatch") -> TraceResult:
+        """Replay a structure-of-arrays trace (the fast-path entry).
+
+        On the vectorized backend the batch feeds numpy directly; other
+        backends expand it to :class:`MemoryAccess` objects and take the
+        scalar loop — same results either way.
+        """
+        if len(batch) == 0:
+            raise MemCtrlError("empty trace")
+        with obs.span("memctrl.run_trace"):
+            if self.backend is SimBackend.VECTORIZED:
+                return self._finish(self._run_vectorized(batch))
+            return self._finish(self._run_scalar(batch.to_accesses()))
+
+    # ------------------------------------------------------------------
+    # shared helpers
+
+    def _finish(self, result: TraceResult) -> TraceResult:
+        if obs.ENABLED:
+            obs.emit(
+                obs.MemTraceEvent(
+                    accesses=result.accesses,
+                    row_hits=result.row_hits,
+                    row_misses=result.row_misses,
+                    remote=result.remote_accesses,
+                    total_time_ns=result.total_time_ns,
+                    bytes_transferred=result.bytes_transferred,
+                )
+            )
+        return result
 
     def _decode_all(
         self, accesses: list[MemoryAccess]
@@ -160,11 +232,11 @@ class MemoryController:
         """Decode every access to ``(socket, socket_bank, channel, row)``.
 
         Decode is a pure function of the HPA, so hoisting it out of the
-        issue loop cannot change results; long traces go through the
-        mapping's vectorized ``decode_flat_batch`` (repro.engine) when
-        numpy is available, others through the flat LRU or the
-        MediaAddress reference path."""
-        if len(accesses) >= 8:
+        issue loop cannot change results; on the batched/vectorized
+        backends long traces go through the mapping's vectorized
+        ``decode_flat_batch`` (repro.engine), others through the flat
+        LRU or the MediaAddress reference path."""
+        if self.backend is not SimBackend.SCALAR and len(accesses) >= 8:
             batch = getattr(self.mapping, "decode_flat_batch", None)
             if batch is not None and self._decode_flat is not None:
                 try:
@@ -185,40 +257,80 @@ class MemoryController:
             for m in (decode(a.hpa) for a in accesses)
         ]
 
-    def _run_trace(self, trace: Iterable[MemoryAccess]) -> TraceResult:
-        from collections import deque
+    def _classify(
+        self,
+        prev_row: dict[tuple[int, int], int],
+        bank_key: tuple[int, int],
+        row: int,
+    ) -> tuple[bool, float, float]:
+        """(hit?, service latency L, bank hold R) for the next access.
 
+        Timing-free: depends only on the per-bank row sequence and the
+        page policy, which is what lets the vectorized path screen row
+        hits with one sorted pass."""
         t = self.timings
-        accesses = trace if isinstance(trace, list) else list(trace)
+        if self.page_policy == "closed":
+            # Auto-precharge: every access activates an idle bank.
+            prev_row[bank_key] = row
+            return False, t.idle_latency, t.bank_hold
+        prev = prev_row.get(bank_key)
+        prev_row[bank_key] = row
+        if prev is None:
+            return False, t.idle_latency, t.bank_hold
+        if prev == row:
+            return True, t.hit_latency, t.t_burst
+        return False, t.miss_latency, t.bank_hold
+
+    # ------------------------------------------------------------------
+    # scalar reference
+
+    def _run_scalar(self, accesses: list[MemoryAccess]) -> TraceResult:
+        t = self.timings
         decoded = self._decode_all(accesses)
-        banks: dict[tuple[int, int], BankState] = {}
-        channels: dict[tuple[int, int], ChannelState] = {}
-        in_flight: deque[float] = deque()
+        prev_row: dict[tuple[int, int], int] = {}
+        # Estimate-pass chains (discarded counters) and final chains.
+        chans_est: dict[tuple[int, int], ChannelState] = {}
+        banks_est: dict[tuple[int, int], float] = {}
+        chans: dict[tuple[int, int], ChannelState] = {}
+        banks_free: dict[tuple[int, int], float] = {}
         result = TraceResult()
-        now = 0.0  # ns; issue clock
-        for access, (socket, socket_bank, channel, row) in zip(accesses, decoded):
-            now += access.cpu_gap_ns
-            while in_flight and in_flight[0] <= now:
-                in_flight.popleft()
-            if len(in_flight) >= self.max_outstanding:
-                now = in_flight.popleft()
+        per_tag = result.per_tag
+        k_lag = self.max_outstanding
+        d0_hist: list[float] = []
+        throttle = float("-inf")  # running max of D0 up to i - k_lag
+        now = 0.0
+        arrival = 0.0
+        for i, (access, (socket, socket_bank, channel, row)) in enumerate(
+            zip(accesses, decoded)
+        ):
+            gap = quantize_ns(access.cpu_gap_ns)
+            arrival += gap
             bank_key = (socket, socket_bank)
             chan_key = (socket, channel)
-            bank = banks.get(bank_key)
-            if bank is None:
-                bank = banks[bank_key] = BankState()
-            chan = channels.get(chan_key)
-            if chan is None:
-                chan = channels[chan_key] = ChannelState(t)
+            remote = socket != access.home_socket
+            penalty = t.t_remote if remote else 0.0
+            hit, latency, hold = self._classify(prev_row, bank_key, row)
 
-            start = now + chan.refresh_delay(now)
-            if socket != access.home_socket:
-                start += t.t_remote
-                result.remote_accesses += 1
-            start = chan.claim_bus(start)
-            done, hit = bank.access(row, start, t)
-            if self.page_policy == "closed":
-                bank.open_row = None  # auto-precharge
+            # Pass 2: unthrottled completion estimate D0.
+            chan_est = chans_est.get(chan_key)
+            if chan_est is None:
+                chan_est = chans_est[chan_key] = ChannelState(t)
+            bus_est = chan_est.claim_bus(chan_est.refresh_adjust(arrival + penalty))
+            begin_est = max(bus_est, banks_est.get(bank_key, 0.0))
+            banks_est[bank_key] = begin_est + hold
+            d0_hist.append(begin_est + latency)
+
+            # Pass 3: MLP-throttled issue, then the final service chains.
+            if i >= k_lag and d0_hist[i - k_lag] > throttle:
+                throttle = d0_hist[i - k_lag]
+            now = max(now + gap, throttle)
+            chan = chans.get(chan_key)
+            if chan is None:
+                chan = chans[chan_key] = ChannelState(t)
+            bus = chan.claim_bus(chan.refresh_adjust(now + penalty))
+            begin = max(bus, banks_free.get(bank_key, 0.0))
+            banks_free[bank_key] = begin + hold
+            done = begin + latency
 
             result.accesses += 1
             if access.kind is AccessKind.READ:
@@ -229,33 +341,23 @@ class MemoryController:
                 result.row_hits += 1
             else:
                 result.row_misses += 1
+            if remote:
+                result.remote_accesses += 1
             result.total_latency_ns += done - now
-            count, total = result.per_tag.get(access.tag, (0, 0.0))
-            result.per_tag[access.tag] = (count + 1, total + (done - now))
+            count, total = per_tag.get(access.tag, (0, 0.0))
+            per_tag[access.tag] = (count + 1, total + (done - now))
             result.bytes_transferred += self.LINE_BYTES
             if done > result.total_time_ns:
                 result.total_time_ns = done
-            # Keep the completion queue ordered: insert preserving order.
-            if in_flight and done < in_flight[-1]:
-                items = sorted([*in_flight, done])
-                in_flight.clear()
-                in_flight.extend(items)
-            else:
-                in_flight.append(done)
 
-        if result.accesses == 0:
-            raise MemCtrlError("empty trace")
-        result.banks_touched = len(banks)
-        result.refreshes = sum(c.refreshes for c in channels.values())
-        if obs.ENABLED:
-            obs.emit(
-                obs.MemTraceEvent(
-                    accesses=result.accesses,
-                    row_hits=result.row_hits,
-                    row_misses=result.row_misses,
-                    remote=result.remote_accesses,
-                    total_time_ns=result.total_time_ns,
-                    bytes_transferred=result.bytes_transferred,
-                )
-            )
+        result.banks_touched = len(prev_row)
+        result.refreshes = sum(c.refreshes for c in chans.values())
         return result
+
+    # ------------------------------------------------------------------
+    # vectorized fast path
+
+    def _run_vectorized(self, batch: "AccessBatch") -> TraceResult:
+        from repro.memctrl import pipeline
+
+        return pipeline.run_pipeline(self, batch, window=None)

@@ -1,16 +1,29 @@
 """Per-bank and per-channel scheduling state (paper §2.4).
 
-The controller keeps one :class:`BankState` per bank (open row + busy
-horizon) and one :class:`ChannelState` per channel (data-bus occupancy +
-refresh bookkeeping).  Accesses are issued in trace order — an FR-FCFS
-scheduler would reorder within a window, but for the throughput/latency
-aggregates the paper reports, in-order issue against accurate bank/bus
-occupancy reproduces the relevant contrasts (row hits vs conflicts,
-parallel vs serialized banks).
+The scalar controller keeps one :class:`BankState` per bank (open row +
+busy horizon) and one :class:`ChannelState` per channel (data-bus
+occupancy + refresh bookkeeping).  Accesses are issued in trace order —
+the FR-FCFS subclass reorders within a window — and for the
+throughput/latency aggregates the paper reports, in-order issue against
+accurate bank/bus occupancy reproduces the relevant contrasts (row hits
+vs conflicts, parallel vs serialized banks).
+
+Two properties make these recurrences vectorizable with *bit-identical*
+results (:mod:`repro.memctrl.pipeline`):
+
+- every time value is dyadic (a multiple of the
+  :data:`~repro.memctrl.timings.TICKS_PER_NS` grid), so float64
+  arithmetic on them is exact and the max-plus chains below have
+  closed forms (``cumsum`` + running max) equal to the scalar fold;
+- refresh is a *fixed-grid blackout*: the rank is unavailable during
+  ``[k*tREFI, k*tREFI + tRFC)`` for every integer ``k``, making the
+  refresh adjustment a pure function of the access time instead of
+  traffic-dependent mutable state.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.memctrl.timings import DDR4Timings
@@ -41,14 +54,12 @@ class BankState:
             self.misses += 1
             if self.open_row is None:
                 # Bank idle/precharged: activate without a precharge.
-                done = begin + timings.t_rcd + timings.t_cl + timings.t_burst
+                done = begin + timings.idle_latency
             else:
                 done = begin + timings.miss_latency
             self.open_row = row
             # Respect tRAS before the row could be closed again.
-            self.ready_at = begin + max(
-                timings.t_rcd + timings.t_burst, timings.t_ras - timings.t_rp
-            )
+            self.ready_at = begin + timings.bank_hold
         return done, hit
 
 
@@ -58,8 +69,8 @@ class ChannelState:
 
     timings: DDR4Timings
     bus_free_at: float = 0.0
-    next_refresh_at: float = field(default=0.0)
-    refreshes: int = 0
+    #: Refresh-blackout indices that stalled at least one access.
+    stalled_windows: set[int] = field(default_factory=set)
 
     def claim_bus(self, start: float) -> float:
         """Reserve the data bus for one burst beginning no earlier than
@@ -68,11 +79,22 @@ class ChannelState:
         self.bus_free_at = begin + self.timings.t_burst
         return begin
 
-    def refresh_delay(self, now: float) -> float:
-        """If a refresh is due at *now*, charge tRFC and schedule the
-        next one; returns the stall added to the current access."""
-        if now < self.next_refresh_at:
-            return 0.0
-        self.refreshes += 1
-        self.next_refresh_at = max(self.next_refresh_at, now) + self.timings.t_refi
-        return self.timings.t_rfc
+    def refresh_adjust(self, start: float) -> float:
+        """Push *start* out of the refresh blackout it falls in, if any.
+
+        The rank refreshes on a fixed grid: window ``k`` blocks
+        ``[k*tREFI, k*tREFI + tRFC)``.  An access landing inside a
+        window is delayed to its end; one landing outside is untouched.
+        Pure in time (counter aside), so estimate passes can share it.
+        """
+        t = self.timings
+        k = math.floor(start / t.t_refi)
+        if start - k * t.t_refi < t.t_rfc:
+            self.stalled_windows.add(k)
+            return k * t.t_refi + t.t_rfc
+        return start
+
+    @property
+    def refreshes(self) -> int:
+        """Distinct refresh windows that delayed traffic on this channel."""
+        return len(self.stalled_windows)

@@ -9,11 +9,14 @@ banks behaved like row-buffer-friendly streams vs conflict storms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.dram.geometry import DRAMGeometry
 from repro.errors import MemCtrlError
 from repro.memctrl.controller import DecodesToMedia, MemoryAccess
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (numpy layer)
+    from repro.memctrl.pipeline import AccessBatch
 
 
 @dataclass
@@ -72,4 +75,38 @@ def profile_trace(
         profile.total += 1
     if profile.total == 0:
         raise MemCtrlError("empty trace")
+    return profile
+
+
+def profile_batch(mapping: DecodesToMedia, batch: "AccessBatch") -> BankProfile:
+    """:func:`profile_trace` over a structure-of-arrays batch.
+
+    One bulk decode plus ``np.unique`` accumulation replaces the
+    per-access dict walk; the per-bank counts and distinct-row sets are
+    identical (integer-exact), just computed columnwise.  Mappings
+    without a flat batch decoder fall back to the object path.
+    """
+    import numpy as np
+
+    if len(batch) == 0:
+        raise MemCtrlError("empty trace")
+    decode_flat_batch = getattr(mapping, "decode_flat_batch", None)
+    if decode_flat_batch is None:
+        return profile_trace(mapping, batch.to_accesses())
+    socket, socket_bank, _channel, row = (
+        np.asarray(col, dtype=np.int64) for col in decode_flat_batch(batch.hpa)
+    )
+    geom = mapping.geom
+    banks_per_socket = geom.banks_per_socket
+    bank_gid = socket * banks_per_socket + socket_bank
+    row_span = int(row.max()) + 1
+    profile = BankProfile(total=len(batch))
+    banks, counts = np.unique(bank_gid, return_counts=True)
+    for gid, count in zip(banks.tolist(), counts.tolist()):
+        key = (gid // banks_per_socket, gid % banks_per_socket)
+        profile.per_bank[key] = BankActivity(accesses=count)
+    for pair in np.unique(bank_gid * row_span + row).tolist():
+        gid, row_value = divmod(pair, row_span)
+        key = (gid // banks_per_socket, gid % banks_per_socket)
+        profile.per_bank[key].distinct_rows.add(row_value)
     return profile

@@ -11,7 +11,12 @@ through the DDR4 timing model on whichever hypervisor (baseline, Siloz,
 Siloz-512/-2048) backs the VM.
 """
 
-from repro.workloads.trace import GpaTranslator, TraceSpec, generate_trace
+from repro.workloads.trace import (
+    GpaTranslator,
+    TraceSpec,
+    generate_trace,
+    generate_trace_batch,
+)
 from repro.workloads.suites import (
     EXEC_TIME_SUITES,
     THROUGHPUT_SUITES,
@@ -27,6 +32,7 @@ __all__ = [
     "TraceSpec",
     "WorkloadResult",
     "generate_trace",
+    "generate_trace_batch",
     "run_in_vm",
     "suite",
     "suite_names",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import WorkloadError
 from repro.hv.hypervisor import Hypervisor
@@ -45,7 +46,15 @@ class ConcurrentResult:
         return self.combined.tag_latency_ns(tag)
 
 
-def _timed_stream(vm, workload, *, accesses, trial, tag, footprint_fraction):
+def _timed_stream(
+    vm: VirtualMachine,
+    workload: str,
+    *,
+    accesses: int,
+    trial: int,
+    tag: int,
+    footprint_fraction: float,
+) -> Iterator[tuple[float, tuple[int, int], MemoryAccess]]:
     """(arrival_ns, sequence, access) triples for one VM's trace."""
     translator = GpaTranslator(vm)
     footprint = max(64, int(translator.limit * footprint_fraction))
@@ -89,7 +98,7 @@ def run_concurrent(
     # Merge streams by arrival time; the per-VM cpu_gap fields describe
     # per-VM spacing, so the merged order's gaps are rebuilt from the
     # absolute arrival times.
-    def merged_with_gaps():
+    def merged_with_gaps() -> Iterator[MemoryAccess]:
         streams = [
             _timed_stream(
                 vm,
@@ -113,7 +122,9 @@ def run_concurrent(
                 tag=access.tag,
             )
 
-    controller = MemoryController(hv.machine.mapping, timings)
+    controller = MemoryController(
+        hv.machine.mapping, timings, backend=hv.machine.dram.backend
+    )
     result = controller.run_trace(merged_with_gaps())
     return ConcurrentResult(
         combined=result, vm_names=tuple(vm.name for vm, _ in plans)

@@ -3,13 +3,21 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
+from repro.engine.backend import SimBackend
 from repro.hv.hypervisor import Hypervisor
 from repro.hv.vm import VirtualMachine
-from repro.memctrl.controller import MemoryController, TraceResult
+from repro.memctrl.controller import (
+    DecodesToMedia,
+    MemoryController,
+    TraceResult,
+)
 from repro.memctrl.timings import DDR4Timings
 from repro.workloads.suites import suite
-from repro.workloads.trace import GpaTranslator, generate_trace
+from repro.workloads.trace import GpaTranslator, generate_trace, generate_trace_batch
+
+ControllerFactory = Callable[[DecodesToMedia, "DDR4Timings | None"], MemoryController]
 
 
 @dataclass(frozen=True)
@@ -39,7 +47,7 @@ def run_in_vm(
     trial: int = 0,
     footprint_fraction: float = 0.8,
     timings: DDR4Timings | None = None,
-    controller_factory=None,
+    controller_factory: ControllerFactory | None = None,
 ) -> WorkloadResult:
     """Run *workload* inside *vm*, returning timing aggregates.
 
@@ -47,18 +55,39 @@ def run_in_vm(
     seeds the noise model, giving the run-to-run spread behind the
     paper's 95 % confidence intervals.  ``controller_factory(mapping,
     timings)`` overrides the memory-controller model (e.g. FR-FCFS or
-    closed-page) for robustness studies."""
+    closed-page) for robustness studies.
+
+    The machine's simulation backend flows through: a default-built
+    controller inherits ``hv.machine.dram.backend``, and whenever the
+    controller (however built) runs vectorized, the trace itself is
+    synthesized as one numpy batch — the whole workload→memctrl pipeline
+    stays on the fast path, with bit-identical results.
+    """
     translator = GpaTranslator(vm)
     footprint = max(64, int(translator.limit * footprint_fraction))
     spec = suite(workload, footprint_bytes=footprint)
-    factory = controller_factory or MemoryController
-    controller = factory(hv.machine.mapping, timings)
-    trace = generate_trace(
-        spec,
-        translator,
-        accesses=accesses,
-        seed=trial,
-        home_socket=vm.home_socket,
-    )
-    result = controller.run_trace(trace)
+    if controller_factory is not None:
+        controller = controller_factory(hv.machine.mapping, timings)
+    else:
+        controller = MemoryController(
+            hv.machine.mapping, timings, backend=hv.machine.dram.backend
+        )
+    if controller.backend is SimBackend.VECTORIZED:
+        batch = generate_trace_batch(
+            spec,
+            translator,
+            accesses=accesses,
+            seed=trial,
+            home_socket=vm.home_socket,
+        )
+        result = controller.run_batch(batch)
+    else:
+        trace = generate_trace(
+            spec,
+            translator,
+            accesses=accesses,
+            seed=trial,
+            home_socket=vm.home_socket,
+        )
+        result = controller.run_trace(trace)
     return WorkloadResult(workload=workload, vm=vm.name, trial=trial, trace=result)

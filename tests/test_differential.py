@@ -219,3 +219,150 @@ class TestControllerDecode:
         slow._decode_flat = None  # force the MediaAddress reference path
         a, b = fast.run_trace(list(trace)), slow.run_trace(list(trace))
         assert vars(a) == vars(b)
+
+
+@pytest.fixture(scope="module")
+def workload_env():
+    from repro.hv import BaselineHypervisor, Machine, VmSpec
+    from repro.units import KiB
+    from repro.workloads import GpaTranslator
+
+    hv = BaselineHypervisor(Machine.small(), backing_page_bytes=64 * KiB)
+    vm = hv.create_vm(VmSpec(name="diff", memory_bytes=2 * MiB))
+    return hv, vm, GpaTranslator(vm)
+
+
+class TestWorkloadStreams:
+    """Scalar trace generator vs the one-transplant numpy batch: the
+    streams (addresses, kinds, quantized-exponential gaps) must be bit
+    for bit the same — same MT19937 draws, same IEEE ops."""
+
+    @pytest.mark.parametrize("workload", ("redis-a", "terasort", "mlc-reads", "mysql"))
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_batch_stream_bit_identical(self, workload_env, workload, seed):
+        from repro.memctrl.controller import AccessKind
+        from repro.workloads import generate_trace, generate_trace_batch, suite
+
+        _, _, translator = workload_env
+        spec = suite(workload, footprint_bytes=translator.limit)
+        objs = list(
+            generate_trace(
+                spec, translator, accesses=600, seed=seed, home_socket=1
+            )
+        )
+        batch = generate_trace_batch(
+            spec, translator, accesses=600, seed=seed, home_socket=1
+        )
+        assert [a.hpa for a in objs] == batch.hpa.tolist()
+        assert [a.kind is AccessKind.WRITE for a in objs] == batch.write.tolist()
+        # Float equality must be exact, not approx: both paths index the
+        # same gap table and scale with the same rounding.
+        assert [a.cpu_gap_ns for a in objs] == batch.cpu_gap_ns.tolist()
+        assert batch.home_socket.tolist() == [1] * 600
+        rebuilt = batch.to_accesses()
+        assert [vars(a) for a in objs] == [vars(a) for a in rebuilt]
+
+
+class TestMemctrlBackends:
+    """Controller timing across all three backends: identical
+    TraceResult (every counter and every float) per configuration."""
+
+    def _trace(self, workload_env, accesses=700):
+        from repro.workloads import generate_trace, suite
+
+        _, vm, translator = workload_env
+        spec = suite("redis-a", footprint_bytes=translator.limit)
+        return list(
+            generate_trace(spec, translator, accesses=accesses, seed=5)
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        (
+            {},
+            {"page_policy": "closed"},
+            {"max_outstanding": 1},
+        ),
+        ids=("open", "closed", "mlp1"),
+    )
+    def test_controller_backend_identical(self, workload_env, kwargs):
+        from repro.memctrl import MemoryController
+
+        hv, _, _ = workload_env
+        trace = self._trace(workload_env)
+        results = {
+            b: MemoryController(
+                hv.machine.mapping, backend=b, **kwargs
+            ).run_trace(list(trace))
+            for b in BACKENDS
+        }
+        for backend in BACKENDS[1:]:
+            assert vars(results["scalar"]) == vars(results[backend]), backend
+
+    @pytest.mark.parametrize("window", (1, 7, 16))
+    def test_frfcfs_backend_identical(self, workload_env, window):
+        from repro.memctrl import FrFcfsController
+
+        hv, _, _ = workload_env
+        trace = self._trace(workload_env)
+        results = {
+            b: FrFcfsController(
+                hv.machine.mapping, window=window, backend=b
+            ).run_trace(list(trace))
+            for b in BACKENDS
+        }
+        for backend in BACKENDS[1:]:
+            assert vars(results["scalar"]) == vars(results[backend]), backend
+
+    def test_run_batch_equals_run_trace(self, workload_env):
+        from repro.memctrl import MemoryController
+        from repro.memctrl.pipeline import AccessBatch
+
+        hv, _, _ = workload_env
+        trace = self._trace(workload_env)
+        batch = AccessBatch.from_accesses(trace)
+        for backend in BACKENDS:
+            mc = MemoryController(hv.machine.mapping, backend=backend)
+            assert vars(mc.run_batch(batch)) == vars(
+                MemoryController(hv.machine.mapping, backend=backend).run_trace(
+                    list(trace)
+                )
+            ), backend
+
+    def test_profile_batch_matches_profile_trace(self, workload_env):
+        from repro.memctrl.pipeline import AccessBatch
+        from repro.memctrl.stats import profile_batch, profile_trace
+
+        hv, _, _ = workload_env
+        trace = self._trace(workload_env)
+        scalar = profile_trace(hv.machine.mapping, trace)
+        batch = profile_batch(hv.machine.mapping, AccessBatch.from_accesses(trace))
+        assert scalar.total == batch.total
+        assert scalar.per_bank.keys() == batch.per_bank.keys()
+        for key, activity in scalar.per_bank.items():
+            assert activity.accesses == batch.per_bank[key].accesses
+            assert activity.distinct_rows == batch.per_bank[key].distinct_rows
+
+
+class TestEndToEndBackends:
+    """The whole workload→memctrl pipeline through run_in_vm: a machine
+    on the vectorized backend must reproduce the scalar machine's
+    WorkloadResult exactly (same VM placement, same trace, same time)."""
+
+    @pytest.mark.parametrize("workload", ("redis-a", "mlc-reads"))
+    def test_run_in_vm_backend_identical(self, workload):
+        from repro.hv import BaselineHypervisor, Machine, VmSpec
+        from repro.units import KiB
+        from repro.workloads import run_in_vm
+
+        results = {}
+        for backend in BACKENDS:
+            hv = BaselineHypervisor(
+                Machine.small(backend=backend), backing_page_bytes=64 * KiB
+            )
+            vm = hv.create_vm(VmSpec(name="e2e", memory_bytes=2 * MiB))
+            results[backend] = run_in_vm(hv, vm, workload, accesses=900, trial=2)
+        for backend in BACKENDS[1:]:
+            assert vars(results["scalar"].trace) == vars(
+                results[backend].trace
+            ), backend

@@ -77,12 +77,22 @@ class TestChannelState:
         second = chan.claim_bus(0.0)
         assert second == pytest.approx(first + T.t_burst)
 
-    def test_refresh_charged_once_per_interval(self):
+    def test_refresh_blackout_grid(self):
         chan = ChannelState(T)
-        assert chan.refresh_delay(0.0) == T.t_rfc
-        assert chan.refresh_delay(1.0) == 0.0
-        assert chan.refresh_delay(T.t_refi + 1.0) == T.t_rfc
+        # Window 0 blocks [0, tRFC): an access at t=0 waits out the
+        # whole refresh; one just past the blackout is untouched.
+        assert chan.refresh_adjust(0.0) == T.t_rfc
+        assert chan.refresh_adjust(T.t_rfc + 1.0) == T.t_rfc + 1.0
+        # Window 1 starts at tREFI and delays to its end.
+        assert chan.refresh_adjust(T.t_refi + 1.0) == T.t_refi + T.t_rfc
         assert chan.refreshes == 2
+
+    def test_refresh_window_counted_once(self):
+        chan = ChannelState(T)
+        chan.refresh_adjust(0.0)
+        chan.refresh_adjust(1.0)
+        chan.refresh_adjust(T.t_rfc / 2)
+        assert chan.refreshes == 1
 
 
 class TestController:
