@@ -18,7 +18,13 @@ Gives operators the paper's experiments without writing code:
 - ``bakeoff`` — run identical seeded fleet campaigns under each
   registered Rowhammer mitigation (Siloz, PARA, CATT, domain-buddy,
   guard-row striping, and the unmitigated baseline) and print the
-  containment / capacity-loss / overhead comparison table.
+  containment / capacity-loss / overhead comparison table,
+- ``serve`` — run the fleet as a long-lived request/response daemon on
+  a TCP port or UNIX socket (JSON-line protocol, graceful drain on
+  SIGTERM/SIGINT),
+- ``loadgen`` — drive a serve daemon (or ``--spawn`` one in-process)
+  with a seeded concurrent request mix and verify the async run
+  replays bit-identically through the synchronous fleet path.
 
 Any command can be observed: ``--trace FILE`` writes the JSONL event
 log, ``--chrome-trace FILE`` writes a ``chrome://tracing`` file, and
@@ -332,6 +338,131 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    from repro.serve import ServiceConfig
+
+    return ServiceConfig(
+        hosts=args.hosts,
+        policy=args.policy,
+        backend=args.backend,
+        seed=args.seed,
+        sockets=args.sockets,
+        queue_depth=args.queue_depth,
+        max_retries=args.max_retries,
+        mitigation=args.mitigation,
+        attack_budget=args.attack_budget,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ServeError
+    from repro.serve import main_serve
+
+    try:
+        return main_serve(
+            _serve_config(args),
+            host=args.bind,
+            port=args.port,
+            socket_path=args.socket,
+        )
+    except ServeError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ServeError
+    from repro.serve import LoadMix, LoadgenConfig, run_loadgen, serve_and_load
+
+    try:
+        config = LoadgenConfig(
+            requests=args.requests,
+            connections=args.connections,
+            window=args.window,
+            seed=args.seed,
+            mix=LoadMix.parse(args.mix),
+            attack_budget=args.attack_budget,
+            verify_replay=not args.no_verify,
+        )
+        if args.spawn:
+            report = asyncio.run(
+                serve_and_load(_serve_config(args), config)
+            )
+        else:
+            if args.port == 0 and args.socket is None:
+                raise ServeError(
+                    "repro loadgen needs --port/--socket, or --spawn"
+                )
+            report = asyncio.run(
+                run_loadgen(
+                    config,
+                    host=args.bind,
+                    port=args.port,
+                    socket_path=args.socket,
+                )
+            )
+    except ServeError as exc:
+        print(f"repro loadgen: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionRefusedError, FileNotFoundError) as exc:
+        print(f"repro loadgen: cannot connect: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_text())
+    if args.json:
+        import json
+
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"loadgen: wrote report to {args.json}")
+    if config.verify_replay and not report.replay_verified:
+        print("loadgen: replay digest MISMATCH", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _add_serve_options(parser: argparse.ArgumentParser) -> None:
+    """Daemon/fleet options shared by ``serve`` and ``loadgen --spawn``."""
+    parser.add_argument(
+        "--bind", default="127.0.0.1", help="TCP bind/connect address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = unused)"
+    )
+    parser.add_argument(
+        "--socket", metavar="PATH", default=None, help="UNIX socket path"
+    )
+    parser.add_argument("--hosts", type=int, default=2, help="fleet hosts")
+    parser.add_argument(
+        "--sockets", type=int, default=1, help="DRAM sockets per host"
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("first-fit", "best-fit", "spread"),
+        default="best-fit",
+        help="placement scheduler",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=32, help="admission queue bound"
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2, help="placement retries"
+    )
+    parser.add_argument(
+        "--mitigation", default="siloz", help="per-host Rowhammer mitigation"
+    )
+    parser.add_argument(
+        "--attack-budget",
+        type=int,
+        default=2,
+        help="fuzzer patterns per run_attack request",
+    )
+
+
 def _cmd_softrefresh(args: argparse.Namespace) -> int:
     from repro.core.softrefresh import RefreshScheme, compare_schemes
 
@@ -563,6 +694,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-events", type=int, default=4, help="events in the plan"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the fleet as a long-lived request/response daemon",
+    )
+    _add_serve_options(serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a serve daemon with a seeded concurrent request mix",
+    )
+    _add_serve_options(loadgen)
+    loadgen.add_argument(
+        "--spawn",
+        action="store_true",
+        help="spawn an in-process daemon on an ephemeral port instead of "
+        "connecting to --port/--socket",
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=10_000, help="total requests to issue"
+    )
+    loadgen.add_argument(
+        "--connections", type=int, default=8, help="pipelined connections"
+    )
+    loadgen.add_argument(
+        "--window", type=int, default=32, help="in-flight window per connection"
+    )
+    loadgen.add_argument(
+        "--mix",
+        default="",
+        metavar="CSV",
+        help="request mix weights, e.g. place=55,evict=25,attack=2",
+    )
+    loadgen.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the replay-digest verification pass",
+    )
+    loadgen.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the loadgen report as JSON to FILE",
+    )
+
     return parser
 
 
@@ -577,6 +752,8 @@ _HANDLERS = {
     "fleet": _cmd_fleet,
     "chaos": _cmd_chaos,
     "bakeoff": _cmd_bakeoff,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

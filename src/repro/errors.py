@@ -121,6 +121,10 @@ class ChaosError(FleetError):
     """Chaos-engineering errors (malformed plans, journal mismatches)."""
 
 
+class ServeError(ReproError):
+    """Service-layer errors (``repro serve`` daemon, protocol, client)."""
+
+
 class AttackError(ReproError):
     """Malformed hammering pattern or attack configuration."""
 

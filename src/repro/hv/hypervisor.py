@@ -62,6 +62,22 @@ class CapacitySnapshot:
         """Allocatable bytes across unreserved guest nodes."""
         return sum(self.free_bytes_by_node[n] for n in self.free_guest_node_ids)
 
+    def to_dict(self) -> dict:
+        """Plain-data wire form (the ``repro serve`` capacity op ships
+        this across the socket; keys sort stably for digests)."""
+        return {
+            "free_guest_node_ids": list(self.free_guest_node_ids),
+            "free_guest_bytes": self.free_guest_bytes,
+            "free_bytes_by_node": {
+                str(k): v for k, v in sorted(self.free_bytes_by_node.items())
+            },
+            "total_guest_nodes": self.total_guest_nodes,
+            "guard_row_bytes": self.guard_row_bytes,
+            "offlined_bytes": self.offlined_bytes,
+            "vm_count": self.vm_count,
+            "backing_page_bytes": self.backing_page_bytes,
+        }
+
 
 @dataclass(frozen=True)
 class VmSpec:

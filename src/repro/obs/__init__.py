@@ -44,6 +44,7 @@ from repro.obs.events import (  # noqa: F401  (public re-exports)
     RefreshWindowEvent,
     RemapEvent,
     RemediationEvent,
+    ServeRequestEvent,
     SpanEvent,
     TraceEvent,
     TrrRefEvent,

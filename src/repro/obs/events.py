@@ -258,6 +258,20 @@ class SpanEvent(TraceEvent):
     when: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class ServeRequestEvent(TraceEvent):
+    """The serve daemon completed one request (non-deterministic:
+    carries the wall-clock handling latency)."""
+
+    kind: ClassVar[str] = "serve_request"
+    deterministic: ClassVar[bool] = False
+    op: str = ""
+    outcome: str = ""  # "ok" or the typed error code tag
+    reason: str = ""  # fault reason tag, "" on success
+    wall_ns: int = 0
+    when: Optional[float] = None
+
+
 #: Every concrete event type, keyed by its stable wire tag.
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     cls.kind: cls
@@ -281,6 +295,7 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         AuditEvent,
         BakeoffEvent,
         SpanEvent,
+        ServeRequestEvent,
     )
 }
 

@@ -31,6 +31,7 @@ from repro.obs.events import (
     RefreshWindowEvent,
     RemapEvent,
     RemediationEvent,
+    ServeRequestEvent,
     SpanEvent,
     TraceEvent,
     TrrRefEvent,
@@ -248,6 +249,18 @@ class MetricsRegistry:
             )
         elif type(event) is SpanEvent:
             self.histogram(f"span.{event.name}.wall_ns", WALL_NS_EDGES).observe(
+                event.wall_ns
+            )
+        elif type(event) is ServeRequestEvent:
+            self.counter("serve.requests").inc()
+            self.counter(f"serve.ops.{event.op}").inc()
+            if event.outcome != "ok":
+                self.counter(f"serve.errors.{event.outcome}").inc()
+            if event.outcome in ("busy", "capacity"):
+                self.counter("serve.rejections").inc()
+                if event.reason:
+                    self.counter(f"serve.rejections.{event.reason}").inc()
+            self.histogram("serve.request_wall_ns", WALL_NS_EDGES).observe(
                 event.wall_ns
             )
 

@@ -1,0 +1,62 @@
+"""``repro.serve`` — the fleet model as a long-running service.
+
+Everything else in this repo drives the Siloz fleet model as a batch
+campaign; this package makes it *serve traffic*: a typed, versioned
+JSON-line protocol (:mod:`repro.serve.protocol`), an asyncio service
+core that routes requests through the bounded admission queue so
+backpressure is a real 429-style response (:mod:`repro.serve.core`), a
+TCP / UNIX-socket daemon and client library (:mod:`repro.serve.server`,
+:mod:`repro.serve.client`), and an open-loop load generator that
+verifies the async run replays bit-identically through the synchronous
+fleet path (:mod:`repro.serve.loadgen`).
+"""
+
+from repro.serve.client import AsyncServeClient, ServeClient, ServeFailure
+from repro.serve.core import (
+    FleetStateMachine,
+    ServeCore,
+    ServiceConfig,
+    replay_request_log,
+)
+from repro.serve.loadgen import (
+    LoadMix,
+    LoadgenConfig,
+    LoadgenReport,
+    run_loadgen,
+    serve_and_load,
+)
+from repro.serve.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    Response,
+    ServeFault,
+)
+from repro.serve.server import ServeServer, main_serve, run_server
+
+__all__ = [
+    "AsyncServeClient",
+    "ErrorCode",
+    "FleetStateMachine",
+    "LoadMix",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ServeCore",
+    "ServeClient",
+    "ServeFailure",
+    "ServeFault",
+    "ServeServer",
+    "ServiceConfig",
+    "main_serve",
+    "replay_request_log",
+    "run_loadgen",
+    "run_server",
+    "serve_and_load",
+]

@@ -1,0 +1,277 @@
+"""Client library for the ``repro serve`` daemon.
+
+Two flavours over the same JSON-line protocol:
+
+- :class:`ServeClient` — synchronous, blocking-socket client for
+  scripts, tests, and the CLI.  One request at a time; responses are
+  matched by id (and must match, since requests are serial).
+- :class:`AsyncServeClient` — asyncio client used by the load
+  generator; supports pipelining many in-flight requests over one
+  connection, matching responses by id.
+
+Both raise :class:`~repro.serve.protocol.ProtocolError` on junk frames
+and surface typed failures as :class:`ServeFailure` (carrying the
+:class:`~repro.serve.protocol.ServeFault`) rather than pretending the
+call succeeded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket as socketlib
+from typing import Any, Dict, Optional
+
+from repro.errors import ServeError
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    ServeFault,
+    decode_response,
+    encode_request,
+)
+
+#: StreamReader line limit for responses.  The ``log`` op returns the
+#: daemon's entire request log on one line, which grows far past
+#: asyncio's 64 KiB default on sustained runs — a short limit kills the
+#: reader with ``LimitOverrunError`` mid-run.
+RESPONSE_LINE_LIMIT = 64 * 1024 * 1024
+
+
+class ServeFailure(ServeError):
+    """A request completed with a typed error response."""
+
+    def __init__(self, fault: ServeFault):
+        super().__init__(
+            f"{fault.code.value}: {fault.reason or fault.detail or 'failed'}"
+        )
+        self.fault = fault
+
+
+class ServeClient:
+    """Synchronous client: connect, request/response, close."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: Optional[str] = None,
+        timeout_s: float = 30.0,
+    ):
+        if socket_path is not None:
+            self._sock = socketlib.socket(
+                socketlib.AF_UNIX, socketlib.SOCK_STREAM
+            )
+            self._sock.settimeout(timeout_s)
+            self._sock.connect(socket_path)
+        else:
+            if port == 0:
+                raise ServeError("ServeClient needs a port or a socket path")
+            self._sock = socketlib.create_connection(
+                (host, port), timeout=timeout_s
+            )
+        self._file = self._sock.makefile("rb")
+        self._next_id = 1
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one request; returns the result dict or raises
+        :class:`ServeFailure` with the typed fault."""
+        response = self.request_raw(op, **params)
+        if not response.ok:
+            assert response.error is not None
+            raise ServeFailure(response.error)
+        return response.result
+
+    def request_raw(self, op: str, **params: Any) -> Response:
+        """Send one request and return the full typed response,
+        success or failure, without raising on typed faults."""
+        request_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(
+            encode_request(Request(op=op, params=params, id=request_id))
+        )
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection mid-request")
+        response = decode_response(line)
+        if response.id != request_id:
+            raise ProtocolError(
+                f"response id {response.id} != request id {request_id}"
+            )
+        return response
+
+    # Convenience wrappers (thin; the op names are the API).
+
+    def place_vm(
+        self, name: str, memory_bytes: int, socket: int = 0
+    ) -> Dict[str, Any]:
+        """Admit one VM; returns ``{"host": ..., "attempts": ...}``."""
+        return self.request(
+            "place_vm", name=name, memory_bytes=memory_bytes, socket=socket
+        )
+
+    def evict_vm(self, name: str) -> Dict[str, Any]:
+        """Tear one placed VM down; returns ``{"host": ...}``."""
+        return self.request("evict_vm", name=name)
+
+    def run_attack(
+        self, host: int = 0, budget: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Run one containment campaign from *host*'s first tenant."""
+        params: Dict[str, Any] = {"host": host}
+        if budget is not None:
+            params["budget"] = budget
+        return self.request("run_attack", **params)
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness + per-host degradation snapshot."""
+        return self.request("health")
+
+    def capacity(self) -> Dict[str, Any]:
+        """Per-host free subarray-group capacity snapshots."""
+        return self.request("capacity")
+
+    def metrics(self) -> Dict[str, Any]:
+        """Service counters (and obs metrics when enabled)."""
+        return self.request("metrics")
+
+    def info(self) -> Dict[str, Any]:
+        """Protocol version, op list, and the daemon's ServiceConfig."""
+        return self.request("info")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit; returns its final digest."""
+        return self.request("shutdown")
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """Asyncio client with pipelining: many in-flight requests on one
+    connection, responses matched to futures by request id."""
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, "asyncio.Future[Response]"] = {}
+        self._next_id = 1
+        self._reader_task: Optional["asyncio.Task[None]"] = None
+
+    async def connect(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: Optional[str] = None,
+    ) -> "AsyncServeClient":
+        """Open the connection and start the response-matching loop."""
+        if socket_path is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                socket_path, limit=RESPONSE_LINE_LIMIT
+            )
+        else:
+            if port == 0:
+                raise ServeError(
+                    "AsyncServeClient needs a port or a socket path"
+                )
+            self._reader, self._writer = await asyncio.open_connection(
+                host, port, limit=RESPONSE_LINE_LIMIT
+            )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        return self
+
+    async def _read_loop(self) -> None:
+        """Match every incoming response line to its pending future.
+
+        MUST fail every pending future on the way out, whatever the
+        exit path — a silently dead reader would leave callers awaiting
+        forever (an idle-loop deadlock, not an error).
+        """
+        assert self._reader is not None
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                try:
+                    line = await self._reader.readline()
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not line:
+                    break
+                try:
+                    response = decode_response(line)
+                except ProtocolError:
+                    continue
+                future = self._pending.pop(response.id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except BaseException as exc:  # noqa: BLE001 — refanned to callers
+            error = exc
+        failure = (
+            ServeError(f"client reader failed: {error!r}")
+            if error is not None
+            else ServeError("server closed the connection")
+        )
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(failure)
+        self._pending.clear()
+
+    async def request_raw(self, op: str, **params: Any) -> Response:
+        """Send one request; awaits and returns its typed response."""
+        if self._writer is None or self._writer.is_closing():
+            raise ServeError("client is not connected")
+        if self._reader_task is not None and self._reader_task.done():
+            # The response loop is gone (EOF / reader failure): a new
+            # future would never resolve — fail fast instead.
+            raise ServeError("server closed the connection")
+        request_id = self._next_id
+        self._next_id += 1
+        future: "asyncio.Future[Response]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request_id] = future
+        self._writer.write(
+            encode_request(Request(op=op, params=params, id=request_id))
+        )
+        await self._writer.drain()
+        return await future
+
+    async def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Like :meth:`request_raw` but raises :class:`ServeFailure`
+        on typed error responses and returns just the result dict."""
+        response = await self.request_raw(op, **params)
+        if not response.ok:
+            assert response.error is not None
+            raise ServeFailure(response.error)
+        return response.result
+
+    async def close(self) -> None:
+        """Close the connection and stop the response loop."""
+        if self._writer is not None and not self._writer.is_closing():
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        if self._reader_task is not None:
+            try:
+                await asyncio.wait_for(self._reader_task, timeout=5.0)
+            except asyncio.TimeoutError:  # pragma: no cover
+                self._reader_task.cancel()
+
+
+__all__ = ["AsyncServeClient", "ServeClient", "ServeFailure"]

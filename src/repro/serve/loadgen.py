@@ -1,0 +1,353 @@
+"""``repro loadgen``: an open-loop concurrent load generator for the
+serve daemon, with replay-digest verification.
+
+The generator opens N pipelined connections, each driving a bounded
+window of in-flight requests drawn from a seeded mix (place / evict /
+attack / reads).  Request latency is wall-clock from write to matched
+response; the report carries sustained req/s, p50/p99 latency, and the
+rejection rate (BUSY + CAPACITY responses over total).
+
+After the run it fetches the daemon's ordered request log and state
+digest, replays the log through the synchronous
+:class:`~repro.serve.core.FleetStateMachine`, and asserts the two
+digests are **bit-identical** — the proof that the async service is a
+faithful linearization of the one fleet model everything else in this
+repo simulates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.serve.client import AsyncServeClient
+from repro.serve.core import ServiceConfig, replay_request_log
+from repro.serve.protocol import ErrorCode, Response
+from repro.units import MiB
+
+#: Outcomes counted as rejections (the backpressure the bench measures).
+_REJECT_CODES = (ErrorCode.BUSY.value, ErrorCode.CAPACITY.value)
+
+
+@dataclass(frozen=True)
+class LoadMix:
+    """Relative weights of each request kind in the generated stream."""
+
+    place: int = 55
+    evict: int = 25
+    attack: int = 2
+    health: int = 8
+    capacity: int = 5
+    metrics: int = 5
+
+    @classmethod
+    def parse(cls, text: str) -> "LoadMix":
+        """Parse ``place=55,evict=25,attack=2,...`` (missing keys keep
+        their defaults; unknown keys are a :class:`ServeError`)."""
+        if not text:
+            return cls()
+        weights: Dict[str, int] = {}
+        for part in text.split(","):
+            if "=" not in part:
+                raise ServeError(f"bad mix component {part!r} (want k=v)")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key not in cls.__dataclass_fields__:
+                raise ServeError(
+                    f"unknown mix key {key!r}; "
+                    f"know {sorted(cls.__dataclass_fields__)}"
+                )
+            try:
+                weights[key] = int(value)
+            except ValueError as exc:
+                raise ServeError(f"bad mix weight {value!r}") from exc
+        return cls(**weights)
+
+    def table(self) -> List[Tuple[str, int]]:
+        """(kind, weight) pairs with zero-weight kinds dropped."""
+        pairs = [
+            ("place", self.place),
+            ("evict", self.evict),
+            ("attack", self.attack),
+            ("health", self.health),
+            ("capacity", self.capacity),
+            ("metrics", self.metrics),
+        ]
+        out = [(k, w) for k, w in pairs if w > 0]
+        if not out:
+            raise ServeError("load mix has no positive weights")
+        return out
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation run, fully described."""
+
+    requests: int = 10_000
+    connections: int = 8
+    window: int = 32
+    seed: int = 0
+    mix: LoadMix = field(default_factory=LoadMix)
+    #: VM sizes drawn uniformly per place request (MiB).
+    sizes_mib: Tuple[int, ...] = (1, 2, 2, 3, 4)
+    #: Fuzzer budget for attack requests (kept small: attacks are the
+    #: heavyweight op and the mix keeps them rare).
+    attack_budget: int = 2
+    verify_replay: bool = True
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0:
+            raise ServeError("loadgen needs a positive request count")
+        if self.connections <= 0 or self.window <= 0:
+            raise ServeError("connections and window must be positive")
+
+
+@dataclass
+class LoadgenReport:
+    """What one run measured (the ``BENCH_serve.json`` payload)."""
+
+    requests: int
+    duration_s: float
+    rps: float
+    p50_ms: float
+    p99_ms: float
+    ok: int
+    rejected: int
+    errors: int
+    rejection_rate: float
+    outcomes: Dict[str, int]
+    server_digest: str = ""
+    replay_digest: str = ""
+    replay_verified: bool = False
+    requests_applied: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form for benchmark JSON."""
+        return {
+            "requests": self.requests,
+            "duration_s": round(self.duration_s, 4),
+            "rps": round(self.rps, 1),
+            "p50_ms": round(self.p50_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "rejection_rate": round(self.rejection_rate, 5),
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "server_digest": self.server_digest,
+            "replay_digest": self.replay_digest,
+            "replay_verified": self.replay_verified,
+            "requests_applied": self.requests_applied,
+        }
+
+    def render_text(self) -> str:
+        """Human-readable run summary (the CLI's output)."""
+        lines = [
+            f"loadgen: {self.requests} requests in {self.duration_s:.2f}s "
+            f"-> {self.rps:,.0f} req/s",
+            f"loadgen: latency p50={self.p50_ms:.3f}ms "
+            f"p99={self.p99_ms:.3f}ms",
+            f"loadgen: ok={self.ok} rejected={self.rejected} "
+            f"errors={self.errors} "
+            f"(rejection rate {100 * self.rejection_rate:.2f}%)",
+        ]
+        if self.server_digest:
+            verdict = "MATCH" if self.replay_verified else "MISMATCH"
+            lines.append(
+                f"loadgen: replay digest: {verdict} "
+                f"({self.requests_applied} ops, {self.server_digest[:16]}…)"
+            )
+        return "\n".join(lines)
+
+
+class _Stream:
+    """Seeded request stream shared by every connection worker.
+
+    Names are globally unique (a monotone counter) and eviction targets
+    are drawn from the set of names whose placements succeeded, so the
+    stream exercises real evictions under load without coordinating
+    with the server.
+    """
+
+    def __init__(self, config: LoadgenConfig, service: ServiceConfig):
+        self.config = config
+        self.service = service
+        self.rng = random.Random(config.seed)
+        self.kinds = [k for k, _ in config.mix.table()]
+        self.weights = [w for _, w in config.mix.table()]
+        self.issued = 0
+        self.next_vm = 0
+        self.placed: List[str] = []
+
+    def take(self) -> Optional[Tuple[str, Dict[str, Any]]]:
+        """The next (op, params) pair, or ``None`` when exhausted."""
+        if self.issued >= self.config.requests:
+            return None
+        self.issued += 1
+        kind = self.rng.choices(self.kinds, weights=self.weights)[0]
+        if kind == "place":
+            name = f"vm{self.next_vm}"
+            self.next_vm += 1
+            size = self.rng.choice(self.config.sizes_mib) * MiB
+            socket = self.rng.randrange(self.service.sockets)
+            return "place_vm", {
+                "name": name,
+                "memory_bytes": size,
+                "socket": socket,
+            }
+        if kind == "evict":
+            if not self.placed:
+                return "health", {}
+            name = self.placed.pop(
+                self.rng.randrange(len(self.placed))
+            )
+            return "evict_vm", {"name": name}
+        if kind == "attack":
+            host = self.rng.randrange(self.service.hosts)
+            return "run_attack", {
+                "host": host,
+                "budget": self.config.attack_budget,
+            }
+        return kind, {}
+
+    def settle(self, op: str, params: Dict[str, Any], ok: bool) -> None:
+        """Feed placement outcomes back so evictions target live VMs."""
+        if op == "place_vm" and ok:
+            self.placed.append(params["name"])
+
+
+async def run_loadgen(
+    config: LoadgenConfig,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    socket_path: Optional[str] = None,
+) -> LoadgenReport:
+    """Drive a running daemon with *config*'s request stream.
+
+    Opens ``config.connections`` pipelined connections, each holding a
+    ``config.window``-deep in-flight window, and runs the stream dry.
+    When ``config.verify_replay`` is set, afterwards fetches the
+    daemon's request log + digest and replays the log synchronously.
+    """
+    stream: Optional[_Stream] = None
+    clients: List[AsyncServeClient] = []
+    for _ in range(config.connections):
+        client = AsyncServeClient()
+        await client.connect(
+            host=host, port=port, socket_path=socket_path
+        )
+        clients.append(client)
+    try:
+        info = await clients[0].request("info")
+        service = ServiceConfig.from_dict(info["config"])
+        stream = _Stream(config, service)
+        outcomes: Dict[str, int] = {}
+        latencies_ns: List[int] = []
+        lock = asyncio.Lock()
+
+        async def issue(client: AsyncServeClient) -> None:
+            """One in-flight slot: pull, send, classify, repeat."""
+            assert stream is not None
+            while True:
+                async with lock:
+                    item = stream.take()
+                if item is None:
+                    return
+                op, params = item
+                started = time.perf_counter_ns()
+                response: Response = await client.request_raw(op, **params)
+                latency = time.perf_counter_ns() - started
+                tag = (
+                    "ok"
+                    if response.ok
+                    else response.error.code.value  # type: ignore[union-attr]
+                )
+                async with lock:
+                    latencies_ns.append(latency)
+                    outcomes[tag] = outcomes.get(tag, 0) + 1
+                    stream.settle(op, params, response.ok)
+
+        started_s = time.perf_counter()
+        await asyncio.gather(
+            *(
+                issue(client)
+                for client in clients
+                for _ in range(config.window)
+            )
+        )
+        duration_s = max(time.perf_counter() - started_s, 1e-9)
+
+        server_digest = ""
+        replay_digest = ""
+        applied = 0
+        if config.verify_replay:
+            log_doc = await clients[0].request("log")
+            server_digest = log_doc["digest"]
+            applied = len(log_doc["log"])
+            replayed = replay_request_log(service, log_doc["log"])
+            replay_digest = replayed.state_digest()
+    finally:
+        for client in clients:
+            await client.close()
+
+    latencies_ns.sort()
+    ok = outcomes.get("ok", 0)
+    rejected = sum(outcomes.get(code, 0) for code in _REJECT_CODES)
+    total = sum(outcomes.values())
+    errors = total - ok - rejected
+    return LoadgenReport(
+        requests=total,
+        duration_s=duration_s,
+        rps=total / duration_s,
+        p50_ms=_percentile_ms(latencies_ns, 0.50),
+        p99_ms=_percentile_ms(latencies_ns, 0.99),
+        ok=ok,
+        rejected=rejected,
+        errors=errors,
+        rejection_rate=rejected / total if total else 0.0,
+        outcomes=outcomes,
+        server_digest=server_digest,
+        replay_digest=replay_digest,
+        replay_verified=bool(server_digest)
+        and server_digest == replay_digest,
+        requests_applied=applied,
+    )
+
+
+async def serve_and_load(
+    service: ServiceConfig, config: LoadgenConfig
+) -> LoadgenReport:
+    """Spawn an in-process daemon on an ephemeral port, load it, drain
+    it, and return the report (the ``--spawn`` / bench path)."""
+    from repro.serve.server import ServeServer
+
+    server = ServeServer(service, port=0)
+    await server.start()
+    try:
+        report = await run_loadgen(config, port=server.port)
+    finally:
+        server.request_shutdown()
+        await server.wait_closed()
+    return report
+
+
+def _percentile_ms(sorted_ns: List[int], q: float) -> float:
+    """Nearest-rank percentile of a pre-sorted ns list, in ms."""
+    if not sorted_ns:
+        return 0.0
+    rank = min(len(sorted_ns) - 1, int(q * len(sorted_ns)))
+    return sorted_ns[rank] / 1e6
+
+
+__all__ = [
+    "LoadMix",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "run_loadgen",
+    "serve_and_load",
+]

@@ -1,0 +1,306 @@
+"""Wire protocol for the ``repro serve`` daemon: typed, versioned
+JSON-line request/response schemas.
+
+One request per line, one response per line, both UTF-8 JSON objects
+terminated by ``\\n``::
+
+    {"v": 1, "id": 7, "op": "place_vm", "params": {"name": "a", "memory_bytes": 2097152}}
+    {"v": 1, "id": 7, "ok": true, "result": {"host": 0, "attempts": 1}}
+
+Responses carry the request's ``id`` so clients may pipeline requests
+and match replies out of order.  Failures are **typed error payloads**
+(:class:`ServeFault`), never tracebacks across the socket: a full
+admission queue maps to :attr:`ErrorCode.BUSY` (the cloud front door's
+429), an exhausted-capacity eviction to :attr:`ErrorCode.CAPACITY`
+(carrying the :class:`~repro.fleet.admission.RejectReason` tag and the
+group-shortfall counts from the typed
+:class:`~repro.errors.PlacementError`), and anything unexpected to
+:attr:`ErrorCode.INTERNAL` with only the exception's type and message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ServeError
+from repro.fleet.admission import AdmissionDecision, RejectReason
+
+#: Wire schema version; bump on any incompatible field change.
+PROTOCOL_VERSION = 1
+
+#: Every operation the service routes (see ``repro.serve.core``).
+OPS = (
+    "place_vm",
+    "evict_vm",
+    "run_attack",
+    "health",
+    "capacity",
+    "metrics",
+    "info",
+    "log",
+    "digest",
+    "shutdown",
+)
+
+
+class ProtocolError(ServeError):
+    """A frame could not be parsed as a well-formed request/response."""
+
+
+class ErrorCode(Enum):
+    """Typed failure classes a response can carry (stable wire tags)."""
+
+    #: The line was not a well-formed request object.
+    BAD_REQUEST = "bad-request"
+    #: The request's ``v`` is not :data:`PROTOCOL_VERSION`.
+    UNSUPPORTED_VERSION = "unsupported-version"
+    #: ``op`` is not one of :data:`OPS`.
+    UNKNOWN_OP = "unknown-op"
+    #: Parameters are malformed or violate a static constraint.
+    INVALID = "invalid"
+    #: The named VM / host does not exist on the fleet.
+    NOT_FOUND = "not-found"
+    #: Backpressure: the bounded admission queue was full (429-style).
+    BUSY = "busy"
+    #: Transient capacity shortfall persisted through every retry.
+    CAPACITY = "capacity"
+    #: The daemon is draining; no new mutations are accepted.
+    SHUTTING_DOWN = "shutting-down"
+    #: An unexpected server-side error (type + message only, no trace).
+    INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: an operation, its parameters, and an id."""
+
+    op: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    id: int = 0
+    v: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class ServeFault:
+    """A typed error payload (the ``error`` half of a response)."""
+
+    code: ErrorCode
+    #: Machine-readable reason tag (e.g. a ``RejectReason`` value).
+    reason: str = ""
+    #: Human-readable detail; never a traceback.
+    detail: str = ""
+    #: Structured extras (shortfall counts, queue depths, attempts).
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Wire form of the error object."""
+        out: Dict[str, Any] = {"code": self.code.value}
+        if self.reason:
+            out["reason"] = self.reason
+        if self.detail:
+            out["detail"] = self.detail
+        out.update(self.extra)
+        return out
+
+
+@dataclass(frozen=True)
+class Response:
+    """One service response, matched to its request by ``id``."""
+
+    id: int
+    ok: bool
+    result: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[ServeFault] = None
+    v: int = PROTOCOL_VERSION
+
+
+def ok_response(request_id: int, **result: Any) -> Response:
+    """A success response carrying *result* fields."""
+    return Response(id=request_id, ok=True, result=dict(result))
+
+
+def error_response(request_id: int, fault: ServeFault) -> Response:
+    """A typed failure response carrying *fault*."""
+    return Response(id=request_id, ok=False, error=fault)
+
+
+#: RejectReason -> wire error code for rejected admission decisions.
+_REJECT_CODES: Dict[RejectReason, ErrorCode] = {
+    RejectReason.QUEUE_FULL: ErrorCode.BUSY,
+    RejectReason.RETRIES_EXHAUSTED: ErrorCode.CAPACITY,
+    RejectReason.INVALID_SPEC: ErrorCode.INVALID,
+}
+
+
+def fault_from_decision(decision: AdmissionDecision) -> ServeFault:
+    """Map a rejected admission decision to its typed wire fault.
+
+    The :class:`~repro.fleet.admission.RejectReason` tag travels as the
+    fault's ``reason`` and the capacity shortfall (when the typed
+    ``PlacementError`` carried one) as structured extras, so a client
+    can distinguish "resubmit later" (busy), "shrink the request"
+    (capacity), and "fix the request" (invalid) without string-matching.
+    """
+    if decision.admitted or decision.reason is None:
+        raise ServeError("fault_from_decision needs a rejected decision")
+    extra: Dict[str, Any] = {"attempts": decision.attempts}
+    if decision.requested_groups is not None:
+        extra["requested_groups"] = decision.requested_groups
+    if decision.available_groups is not None:
+        extra["available_groups"] = decision.available_groups
+    return ServeFault(
+        code=_REJECT_CODES[decision.reason],
+        reason=decision.reason.value,
+        detail=f"admission rejected VM {decision.vm!r}",
+        extra=extra,
+    )
+
+
+def encode_request(request: Request) -> bytes:
+    """One request as a JSON line (the client's wire form)."""
+    doc = {
+        "v": request.v,
+        "id": request.id,
+        "op": request.op,
+        "params": request.params,
+    }
+    return (json.dumps(doc, separators=(",", ":")) + "\n").encode()
+
+
+def decode_request(line: Union[bytes, str]) -> Request:
+    """Parse one request line; raises :class:`ProtocolError` on junk.
+
+    Version and op validity are *not* checked here — the server answers
+    those with typed :attr:`ErrorCode.UNSUPPORTED_VERSION` /
+    :attr:`ErrorCode.UNKNOWN_OP` responses (see :func:`validate_request`)
+    so the client learns what went wrong instead of losing the frame.
+    """
+    doc = _parse_object(line, "request")
+    op = doc.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request needs a non-empty string 'op'")
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("request 'params' must be an object")
+    return Request(
+        op=op,
+        params=params,
+        id=_int_field(doc, "id", 0),
+        v=_int_field(doc, "v", PROTOCOL_VERSION),
+    )
+
+
+def validate_request(request: Request) -> Optional[ServeFault]:
+    """Version / op checks the server runs before dispatch."""
+    if request.v != PROTOCOL_VERSION:
+        return ServeFault(
+            code=ErrorCode.UNSUPPORTED_VERSION,
+            reason=f"v{request.v}",
+            detail=f"server speaks protocol v{PROTOCOL_VERSION}",
+            extra={"supported": PROTOCOL_VERSION},
+        )
+    if request.op not in OPS:
+        return ServeFault(
+            code=ErrorCode.UNKNOWN_OP,
+            reason=request.op,
+            detail=f"known ops: {', '.join(OPS)}",
+        )
+    return None
+
+
+def encode_response(response: Response) -> bytes:
+    """One response as a JSON line (the server's wire form)."""
+    doc: Dict[str, Any] = {"v": response.v, "id": response.id, "ok": response.ok}
+    if response.ok:
+        doc["result"] = response.result
+    else:
+        assert response.error is not None
+        doc["error"] = response.error.to_payload()
+    return (json.dumps(doc, separators=(",", ":")) + "\n").encode()
+
+
+def decode_response(line: Union[bytes, str]) -> Response:
+    """Parse one response line; raises :class:`ProtocolError` on junk."""
+    doc = _parse_object(line, "response")
+    ok = doc.get("ok")
+    if not isinstance(ok, bool):
+        raise ProtocolError("response needs a boolean 'ok'")
+    rid = _int_field(doc, "id", 0)
+    version = _int_field(doc, "v", PROTOCOL_VERSION)
+    if ok:
+        result = doc.get("result", {})
+        if not isinstance(result, dict):
+            raise ProtocolError("response 'result' must be an object")
+        return Response(id=rid, ok=True, result=result, v=version)
+    error = doc.get("error")
+    if not isinstance(error, dict) or "code" not in error:
+        raise ProtocolError("failed response needs an 'error' object with 'code'")
+    try:
+        code = ErrorCode(error["code"])
+    except ValueError as exc:
+        raise ProtocolError(f"unknown error code {error['code']!r}") from exc
+    extra = {
+        k: v for k, v in error.items() if k not in ("code", "reason", "detail")
+    }
+    fault = ServeFault(
+        code=code,
+        reason=str(error.get("reason", "")),
+        detail=str(error.get("detail", "")),
+        extra=extra,
+    )
+    return Response(id=rid, ok=False, error=fault, v=version)
+
+
+def request_id_of(line: Union[bytes, str]) -> int:
+    """Best-effort id extraction from a possibly-malformed line, so a
+    ``bad-request`` response can still be matched by the client."""
+    try:
+        doc = _parse_object(line, "request")
+        return _int_field(doc, "id", 0)
+    except ProtocolError:
+        return 0
+
+
+def _parse_object(line: Union[bytes, str], what: str) -> Dict[str, Any]:
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"{what} line is not UTF-8: {exc}") from exc
+    try:
+        doc = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"{what} line is not JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError(f"{what} must be a JSON object")
+    return doc
+
+
+def _int_field(doc: Dict[str, Any], name: str, default: int) -> int:
+    value = doc.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"field {name!r} must be an integer")
+    return value
+
+
+__all__ = [
+    "ErrorCode",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ServeFault",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "error_response",
+    "fault_from_decision",
+    "ok_response",
+    "request_id_of",
+    "validate_request",
+]

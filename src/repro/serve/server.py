@@ -1,0 +1,291 @@
+"""The ``repro serve`` daemon: a TCP / UNIX-socket JSON-line server.
+
+One asyncio server wraps a :class:`~repro.serve.core.ServeCore`.  Each
+connection reads newline-delimited requests and may pipeline them: every
+request is handled in its own task and responses are written as they
+complete, matched by ``id``.  Malformed lines get a typed
+``bad-request`` response instead of dropping the connection.
+
+Graceful shutdown (SIGTERM / SIGINT / the ``shutdown`` op) follows the
+drain contract the load tests assert: stop accepting new connections,
+let every in-flight request finish and flush its response, close the
+sockets, print a final metrics summary, exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from pathlib import Path
+from typing import Optional, Set
+
+from repro.errors import ServeError
+from repro.log import get_logger
+from repro.serve.core import ServeCore, ServiceConfig
+from repro.serve.protocol import (
+    ErrorCode,
+    ProtocolError,
+    ServeFault,
+    decode_request,
+    encode_response,
+    error_response,
+    request_id_of,
+)
+
+_log = get_logger("serve.server")
+
+#: Longest time wait_closed() lets in-flight requests drain before
+#: cancelling them (generous: a single attack op is well under this).
+DRAIN_TIMEOUT_S = 30.0
+
+#: StreamReader line limit for incoming requests (requests are small;
+#: the limit just needs to beat asyncio's 64 KiB default comfortably).
+REQUEST_LINE_LIMIT = 1024 * 1024
+
+
+class _Conn:
+    """Per-connection state: a write lock (responses must not interleave
+    mid-line) and the set of in-flight request tasks."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self.reader = reader
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.inflight: Set["asyncio.Task[None]"] = set()
+        #: Set when the server wants this connection gone once idle.
+        self.closing = False
+
+    async def send(self, payload: bytes) -> None:
+        """Write one response line under the lock; ignores a peer that
+        vanished mid-write (the request itself still completed)."""
+        async with self.write_lock:
+            if self.writer.is_closing():
+                return
+            self.writer.write(payload)
+            try:
+                await self.writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def close(self) -> None:
+        """Close the transport (EOF unblocks a reader mid-``readline``)."""
+        if not self.writer.is_closing():
+            self.writer.close()
+
+
+class ServeServer:
+    """Bind a :class:`ServeCore` to a TCP port or UNIX socket."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: Optional[str] = None,
+    ):
+        self.core = ServeCore(config)
+        self.core.shutdown_callback = self.request_shutdown
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conns: Set[_Conn] = set()
+        self._stopping = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> str:
+        """Bind and start accepting; returns the printable address."""
+        if self.socket_path is not None:
+            path = Path(self.socket_path)
+            if path.exists():
+                path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._on_connect, path=str(path), limit=REQUEST_LINE_LIMIT
+            )
+            return f"unix:{path}"
+        self._server = await asyncio.start_server(
+            self._on_connect,
+            host=self.host,
+            port=self.port,
+            limit=REQUEST_LINE_LIMIT,
+        )
+        sock = self._server.sockets[0]
+        bound_host, bound_port = sock.getsockname()[:2]
+        self.port = bound_port
+        return f"tcp:{bound_host}:{bound_port}"
+
+    def request_shutdown(self) -> None:
+        """Begin the drain: stop accepting, nudge idle connections.
+
+        Safe to call repeatedly and from signal handlers.  Busy
+        connections keep their sockets until their in-flight requests
+        have responded (their handler closes them, see ``_serve_conn``).
+        Requests already received — including ones whose handler task
+        has not started yet — still complete normally: the drain cuts
+        off *new* work by closing the listener and the read loops, not
+        by refusing work in flight (``core.draining`` stays False here;
+        only the explicit ``shutdown`` op sets it).
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+        for conn in list(self._conns):
+            conn.closing = True
+            if not conn.inflight:
+                conn.close()
+
+    async def wait_closed(self) -> None:
+        """Block until the drain completes: server closed, every
+        in-flight request finished (or timed out), sockets gone."""
+        await self._stopping.wait()
+        if self._server is not None:
+            await self._server.wait_closed()
+        pending = [t for c in list(self._conns) for t in c.inflight]
+        if pending:
+            done, late = await asyncio.wait(
+                pending, timeout=DRAIN_TIMEOUT_S
+            )
+            for task in late:
+                task.cancel()
+            if late:
+                _log.warning(
+                    "serve: cancelled %d request(s) after %.0fs drain timeout",
+                    len(late),
+                    DRAIN_TIMEOUT_S,
+                )
+        for conn in list(self._conns):
+            conn.close()
+        if self.socket_path is not None:
+            Path(self.socket_path).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Conn(reader, writer)
+        self._conns.add(conn)
+        try:
+            await self._serve_conn(conn)
+        finally:
+            self._conns.discard(conn)
+            # No ``await writer.wait_closed()`` here: every response was
+            # drained in send(), close() flushes the rest, and awaiting
+            # would race asyncio.run's task-cancellation at exit.
+            conn.close()
+
+    async def _serve_conn(self, conn: _Conn) -> None:
+        """Read request lines until EOF; each line becomes a task so
+        clients can pipeline.  When the server is draining, the final
+        in-flight response closes the connection."""
+        while True:
+            try:
+                line = await conn.reader.readline()
+            except (ConnectionResetError, BrokenPipeError):
+                break
+            except ValueError:
+                # Oversized request line: nothing sane to answer (we
+                # cannot even find its id) — drop the connection.
+                break
+            if not line:
+                break
+            stripped = line.strip()
+            if not stripped:
+                continue
+            task = asyncio.get_running_loop().create_task(
+                self._handle_line(conn, stripped)
+            )
+            conn.inflight.add(task)
+            task.add_done_callback(conn.inflight.discard)
+            if conn.closing:
+                break
+        if conn.inflight:
+            await asyncio.gather(*conn.inflight, return_exceptions=True)
+
+    async def _handle_line(self, conn: _Conn, line: bytes) -> None:
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            response = error_response(
+                request_id_of(line),
+                ServeFault(
+                    code=ErrorCode.BAD_REQUEST,
+                    reason="malformed",
+                    detail=str(exc),
+                ),
+            )
+        else:
+            response = await self.core.handle(request)
+        await conn.send(encode_response(response))
+        if conn.closing and len(conn.inflight) <= 1:
+            conn.close()
+
+
+async def run_server(
+    config: ServiceConfig,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    socket_path: Optional[str] = None,
+    ready_line: bool = True,
+    install_signals: bool = True,
+) -> int:
+    """Run one daemon to completion; returns the process exit code (0).
+
+    Prints ``serve: listening on <addr>`` once bound (the CLI and CI
+    smoke jobs wait on this line), installs SIGTERM/SIGINT handlers
+    that trigger the graceful drain, and prints the final metrics
+    summary after the drain completes.
+    """
+    server = ServeServer(
+        config, host=host, port=port, socket_path=socket_path
+    )
+    addr = await server.start()
+    if ready_line:
+        print(f"serve: listening on {addr}", flush=True)
+    if install_signals:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+    await server.wait_closed()
+    for line in server.core.summary_lines():
+        print(line, flush=True)
+    return 0
+
+
+def main_serve(
+    config: ServiceConfig,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    socket_path: Optional[str] = None,
+) -> int:
+    """Blocking entry point for the ``repro serve`` subcommand."""
+    if port == 0 and socket_path is None:
+        raise ServeError("repro serve needs --port or --socket")
+    try:
+        return asyncio.run(
+            run_server(
+                config, host=host, port=port, socket_path=socket_path
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover — signal handler races
+        print("serve: interrupted", file=sys.stderr)
+        return 0
+
+
+__all__ = ["DRAIN_TIMEOUT_S", "ServeServer", "main_serve", "run_server"]

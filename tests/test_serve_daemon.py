@@ -1,0 +1,140 @@
+"""End-to-end tests for the ``repro serve`` daemon as a subprocess.
+
+These drive the real CLI entry point over a UNIX socket: boot the
+daemon, talk to it with the synchronous :class:`ServeClient`, and
+exercise both shutdown paths — the ``shutdown`` op and SIGTERM with a
+request still in flight.  Both must drain gracefully: the in-flight
+response arrives, the final metrics summary prints, and the process
+exits 0.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeClient, ServeFailure
+
+MiB = 1024 * 1024
+
+#: How long we give the daemon to print its ready line / exit.
+STARTUP_TIMEOUT_S = 30.0
+
+
+def _spawn_daemon(tmp_path, *extra_args):
+    """Start ``repro serve --socket <tmp>`` and wait for the ready line.
+
+    Returns ``(proc, socket_path)``; the caller owns both (terminate the
+    process and read its remaining output via ``communicate``).
+    """
+    socket_path = str(tmp_path / "serve.sock")
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", socket_path, "--hosts", "1",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    assert proc.stdout is not None
+    ready = proc.stdout.readline()
+    if "serve: listening on" not in ready:
+        proc.kill()
+        _, stderr = proc.communicate(timeout=STARTUP_TIMEOUT_S)
+        pytest.fail(f"daemon never became ready: {ready!r}\n{stderr}")
+    return proc, socket_path
+
+
+def _finish(proc):
+    """Collect the daemon's remaining stdout/stderr and return code.
+
+    Kills the daemon if it never exits, so an assertion failure earlier
+    in the test surfaces instead of being masked by a hang here.
+    """
+    try:
+        stdout, stderr = proc.communicate(timeout=STARTUP_TIMEOUT_S)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        stdout, stderr = proc.communicate()
+    return proc.returncode, stdout, stderr
+
+
+class TestDaemonRoundTrip:
+    """The daemon answers the full op set over a real socket."""
+
+    def test_round_trip_and_shutdown_op(self, tmp_path):
+        """info/place/health/metrics/evict round-trip, then the
+        ``shutdown`` op drains the daemon to a clean exit 0."""
+        proc, socket_path = _spawn_daemon(tmp_path)
+        try:
+            with ServeClient(socket_path=socket_path) as client:
+                info = client.info()
+                assert info["protocol"] == 1
+                assert info["config"]["hosts"] == 1
+
+                placed = client.place_vm("vm-a", 2 * MiB)
+                assert placed["host"] == 0
+
+                health = client.health()
+                assert health["draining"] is False
+                assert health["hosts"][0]["vms"] == 1
+
+                metrics = client.metrics()
+                assert metrics["serve"]["requests"] >= 3
+
+                with pytest.raises(ServeFailure, match="not-found"):
+                    client.evict_vm("no-such-vm")
+                assert client.evict_vm("vm-a")["host"] == 0
+
+                digest = client.shutdown()["digest"]
+                assert len(digest) == 64
+        finally:
+            code, stdout, stderr = _finish(proc)
+        assert code == 0, stderr
+        assert "serve: final summary" in stdout
+        assert "serve: final state digest" in stdout
+
+    def test_sigterm_finishes_inflight_request(self, tmp_path):
+        """SIGTERM while ``run_attack`` is in flight: the response still
+        arrives, the summary prints, and the daemon exits 0."""
+        proc, socket_path = _spawn_daemon(tmp_path, "--attack-budget", "8")
+        try:
+            with ServeClient(socket_path=socket_path) as client:
+                client.place_vm("victim", 2 * MiB)
+                # Fire SIGTERM shortly after the attack request is on
+                # the wire; the blocking read below must still get its
+                # response (the drain finishes in-flight work).
+                killer = threading.Timer(
+                    0.05, proc.send_signal, args=(signal.SIGTERM,)
+                )
+                killer.start()
+                try:
+                    result = client.run_attack(host=0, budget=8)
+                finally:
+                    killer.join()
+                assert result["flips"] >= 0
+                assert "contained" in result
+        finally:
+            code, stdout, stderr = _finish(proc)
+        assert code == 0, stderr
+        assert "serve: final summary" in stdout
+
+    def test_sigint_idle_daemon_exits_clean(self, tmp_path):
+        """SIGINT with no traffic at all still drains to exit 0."""
+        proc, _ = _spawn_daemon(tmp_path)
+        # Give the loop a beat so the signal handler is installed.
+        time.sleep(0.1)
+        proc.send_signal(signal.SIGINT)
+        code, stdout, stderr = _finish(proc)
+        assert code == 0, stderr
+        assert "serve: final summary — 0 request(s)" in stdout

@@ -1,0 +1,175 @@
+"""Wire-protocol tests: encode/decode round-trips, typed faults,
+version/op validation, and malformed-frame handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.fleet.admission import AdmissionDecision, RejectReason
+from repro.serve.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    ServeFault,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_response,
+    fault_from_decision,
+    ok_response,
+    request_id_of,
+    validate_request,
+)
+
+
+class TestRequestCodec:
+    """Request encode/decode round-trips and malformed frames."""
+
+    def test_round_trip(self):
+        req = Request(op="place_vm", params={"name": "a", "memory_bytes": 42}, id=7)
+        wire = encode_request(req)
+        assert wire.endswith(b"\n")
+        assert decode_request(wire) == req
+
+    def test_defaults(self):
+        req = decode_request(b'{"op": "health"}')
+        assert req.id == 0
+        assert req.v == PROTOCOL_VERSION
+        assert req.params == {}
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json",
+            b"[1,2,3]",
+            b'{"params": {}}',  # missing op
+            b'{"op": ""}',  # empty op
+            b'{"op": "health", "params": 3}',  # params not an object
+            b'{"op": "health", "id": "x"}',  # non-int id
+            b'{"op": "health", "id": true}',  # bool is not an int here
+            b"\xff\xfe",  # not UTF-8
+        ],
+    )
+    def test_malformed_raises(self, line):
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    def test_request_id_of_best_effort(self):
+        assert request_id_of(b'{"op": "x", "id": 9}') == 9
+        assert request_id_of(b"garbage") == 0
+
+
+class TestResponseCodec:
+    """Response encode/decode, both success and typed-fault halves."""
+
+    def test_ok_round_trip(self):
+        resp = ok_response(3, host=1, attempts=2)
+        back = decode_response(encode_response(resp))
+        assert back.ok and back.id == 3
+        assert back.result == {"host": 1, "attempts": 2}
+
+    def test_error_round_trip_preserves_extras(self):
+        fault = ServeFault(
+            code=ErrorCode.CAPACITY,
+            reason="retries-exhausted",
+            detail="no groups",
+            extra={"requested_groups": 4, "available_groups": 1},
+        )
+        back = decode_response(encode_response(error_response(9, fault)))
+        assert not back.ok and back.id == 9
+        assert back.error is not None
+        assert back.error.code is ErrorCode.CAPACITY
+        assert back.error.reason == "retries-exhausted"
+        assert back.error.extra["requested_groups"] == 4
+        assert back.error.extra["available_groups"] == 1
+
+    def test_error_payload_never_carries_traceback(self):
+        fault = ServeFault(
+            code=ErrorCode.INTERNAL, reason="ValueError", detail="boom"
+        )
+        doc = json.loads(encode_response(error_response(1, fault)))
+        assert "Traceback" not in json.dumps(doc)
+        assert doc["error"] == {
+            "code": "internal",
+            "reason": "ValueError",
+            "detail": "boom",
+        }
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b'{"id": 1}',  # missing ok
+            b'{"id": 1, "ok": false}',  # failed without error object
+            b'{"id": 1, "ok": false, "error": {"code": "nope"}}',
+            b'{"id": 1, "ok": true, "result": 5}',
+        ],
+    )
+    def test_malformed_raises(self, line):
+        with pytest.raises(ProtocolError):
+            decode_response(line)
+
+
+class TestValidation:
+    """Server-side version/op validation produces typed faults."""
+
+    def test_known_ops_pass(self):
+        for op in OPS:
+            assert validate_request(Request(op=op)) is None
+
+    def test_unknown_op(self):
+        fault = validate_request(Request(op="explode"))
+        assert fault is not None and fault.code is ErrorCode.UNKNOWN_OP
+        assert fault.reason == "explode"
+
+    def test_wrong_version(self):
+        fault = validate_request(Request(op="health", v=99))
+        assert fault is not None
+        assert fault.code is ErrorCode.UNSUPPORTED_VERSION
+        assert fault.extra["supported"] == PROTOCOL_VERSION
+
+
+class TestFaultFromDecision:
+    """RejectReason -> typed wire fault mapping."""
+
+    def test_queue_full_maps_to_busy(self):
+        decision = AdmissionDecision(
+            vm="a", admitted=False, reason=RejectReason.QUEUE_FULL
+        )
+        fault = fault_from_decision(decision)
+        assert fault.code is ErrorCode.BUSY
+        assert fault.reason == "queue-full"
+
+    def test_retries_exhausted_maps_to_capacity_with_shortfall(self):
+        decision = AdmissionDecision(
+            vm="big",
+            admitted=False,
+            reason=RejectReason.RETRIES_EXHAUSTED,
+            attempts=3,
+            requested_groups=6,
+            available_groups=2,
+        )
+        fault = fault_from_decision(decision)
+        assert fault.code is ErrorCode.CAPACITY
+        assert fault.reason == "retries-exhausted"
+        assert fault.extra == {
+            "attempts": 3,
+            "requested_groups": 6,
+            "available_groups": 2,
+        }
+
+    def test_invalid_spec_maps_to_invalid(self):
+        decision = AdmissionDecision(
+            vm="bad", admitted=False, reason=RejectReason.INVALID_SPEC
+        )
+        assert fault_from_decision(decision).code is ErrorCode.INVALID
+
+    def test_admitted_decision_rejected(self):
+        decision = AdmissionDecision(vm="ok", admitted=True, host_id=0)
+        with pytest.raises(ServeError):
+            fault_from_decision(decision)
