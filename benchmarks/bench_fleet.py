@@ -1,10 +1,21 @@
-"""Fleet trajectory point: parallel campaign execution vs serial.
+"""Fleet trajectory points: parallel scaling, pool engines, cluster scale.
 
-Runs the same fleet campaign twice — ``workers=1`` and ``workers=N``
-(N = the scaling target's worker count) — asserts the merged reports
-are **bit-identical** (the determinism contract: per-host seeds derive
-from host ids, never pool order), then records wall times and the
-scaling speedup to ``BENCH_fleet.json`` at the repo root.
+Three recorded entries in ``BENCH_fleet.json`` at the repo root:
+
+- ``fleet_campaign`` — the same small campaign at ``workers=1`` vs
+  ``workers=N``; merged reports must be **bit-identical** (per-host
+  seeds derive from host ids, never pool order) and the ≥2× speedup
+  target is enforced when the machine can express it.
+- ``fleet_pool`` — the persistent warm worker pool vs the per-task
+  spawn path at the same worker count; digests must match (pool mode
+  is an execution detail) and both wall times are recorded so a pool
+  regression is visible run-over-run.
+- ``fleet_cluster`` — the cluster-scale campaign (1000 hosts / 100k VM
+  arrivals through sharded admission over logical capacity twins) at
+  ``workers=1`` scalar, ``workers=N`` scalar, and ``workers=N``
+  vectorized; all three merge digests must be bit-identical, and the
+  best hosts/sec throughput plus driver peak RSS are recorded (gated by
+  ``check_trajectory.py --key fleet_cluster --field hosts_per_sec``).
 
 The ≥2× speedup target only makes sense with cores to scale onto, so
 the assertion is gated on ``os.cpu_count() >= WORKERS``: a 1-core dev
@@ -12,6 +23,10 @@ box records its honest (≈1×) measurement without failing, while CI's
 multi-core runners enforce the target.  The identical-results assertion
 is unconditional — it is the half of the contract that must hold
 everywhere.
+
+``REPRO_BENCH_CLUSTER_HOSTS`` / ``REPRO_BENCH_CLUSTER_VMS`` shrink the
+cluster leg for local iteration; the committed point and the nightly
+run use the full 1000 / 100000 defaults.
 """
 
 from __future__ import annotations
@@ -21,7 +36,12 @@ import os
 import pathlib
 import time
 
-from repro.fleet import CampaignConfig, run_campaign
+from repro.fleet import (
+    CampaignConfig,
+    ClusterConfig,
+    run_campaign,
+    run_cluster_campaign,
+)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 BENCH_JSON = REPO_ROOT / "BENCH_fleet.json"
@@ -34,6 +54,13 @@ SCALING_TARGET = 2.0
 HOSTS = 8
 VMS = 24
 BUDGET = 8
+
+#: Cluster-scale leg (overridable for local iteration only — the
+#: recorded trajectory point must stay at full scale to be comparable).
+CLUSTER_HOSTS = int(os.environ.get("REPRO_BENCH_CLUSTER_HOSTS", "1000"))
+CLUSTER_VMS = int(os.environ.get("REPRO_BENCH_CLUSTER_VMS", "100000"))
+CLUSTER_SHARDS = 16
+CLUSTER_BUDGET = 2
 
 _RESULTS: dict = {
     "bench": "fleet",
@@ -52,13 +79,27 @@ def _banner(title: str) -> str:
     return f"\n{rule}\n{title}\n{rule}"
 
 
-def _campaign(workers: int):
+def _campaign(workers: int, pool: str = "persistent"):
     config = CampaignConfig(
         hosts=HOSTS, vms=VMS, budget=BUDGET, workers=workers, seed=7
     )
     t0 = time.perf_counter()
-    report = run_campaign(config)
+    report = run_campaign(config, pool=pool)
     return time.perf_counter() - t0, report
+
+
+def _cluster(workers: int, backend: str):
+    config = ClusterConfig(
+        hosts=CLUSTER_HOSTS,
+        vms=CLUSTER_VMS,
+        shards=CLUSTER_SHARDS,
+        budget=CLUSTER_BUDGET,
+        workers=workers,
+        backend=backend,
+        seed=7,
+        policy="first-fit",
+    )
+    return run_cluster_campaign(config)
 
 
 def test_fleet_scaling() -> None:
@@ -117,5 +158,97 @@ def test_fleet_scaling() -> None:
         )
 
 
+def test_fleet_pool_engines() -> None:
+    """Persistent warm pool vs per-task spawn, same campaign, same
+    worker count: digests must match (pool mode is an execution detail,
+    scrubbed from nothing — simply never hashed) and both wall times
+    are recorded so a pool-engine regression is visible run-over-run."""
+    persistent_s, persistent = _campaign(WORKERS, "persistent")
+    spawn_s, spawn = _campaign(WORKERS, "spawn")
+
+    assert persistent.digest() == spawn.digest(), (
+        "persistent-pool and spawn merged reports diverged"
+    )
+    ratio = spawn_s / persistent_s
+    print(_banner(f"Fleet: pool engines at workers={WORKERS}"))
+    print(
+        f"persistent {persistent_s * 1e3:8.1f} ms   "
+        f"spawn {spawn_s * 1e3:8.1f} ms   spawn/persistent {ratio:.2f}x"
+    )
+    _record(
+        "fleet_pool",
+        {
+            "persistent_seconds": round(persistent_s, 6),
+            "spawn_seconds": round(spawn_s, 6),
+            "spawn_over_persistent": round(ratio, 3),
+            "workers": WORKERS,
+            "identical_results": True,
+            "merge_digest": persistent.digest(),
+        },
+    )
+
+
+def test_fleet_cluster() -> None:
+    """Cluster scale: sharded admission over logical twins + streaming
+    merge, digest-identical across worker counts AND backends, with the
+    best hosts/sec recorded as the gated trajectory metric."""
+    cpus = os.cpu_count() or 1
+    runs = {
+        "serial_scalar": _cluster(1, "scalar"),
+        f"w{WORKERS}_scalar": _cluster(WORKERS, "scalar"),
+        f"w{WORKERS}_vectorized": _cluster(WORKERS, "vectorized"),
+    }
+    digests = {name: r.merge_digest for name, r in runs.items()}
+    assert len(set(digests.values())) == 1, (
+        f"cluster merge digests diverged across worker counts/backends: {digests}"
+    )
+    for name, r in runs.items():
+        assert r.hosts_failed == 0, f"cluster run {name} had host failures"
+
+    best = max(runs.values(), key=lambda r: r.hosts_per_sec)
+    full_scale = CLUSTER_HOSTS >= 1000 and CLUSTER_VMS >= 100_000
+    print(_banner(
+        f"Fleet: cluster campaign, {CLUSTER_HOSTS} hosts / "
+        f"{CLUSTER_VMS} VM arrivals, {CLUSTER_SHARDS} shards"
+    ))
+    for name, r in runs.items():
+        print(
+            f"{name:16s} {r.elapsed_s:7.1f} s   {r.hosts_per_sec:7.1f} hosts/s"
+            f"   peak rss {r.peak_rss_mib:6.0f} MiB"
+        )
+    payload = {
+        "hosts": CLUSTER_HOSTS,
+        "vms": CLUSTER_VMS,
+        "shards": CLUSTER_SHARDS,
+        "budget": CLUSTER_BUDGET,
+        "workers": WORKERS,
+        "cpu_count": cpus,
+        "runs": {
+            name: {
+                "elapsed_seconds": round(r.elapsed_s, 3),
+                "hosts_per_sec": round(r.hosts_per_sec, 3),
+                "peak_rss_mib": round(r.peak_rss_mib, 1),
+            }
+            for name, r in runs.items()
+        },
+        "admitted": runs["serial_scalar"].summary["admitted"],
+        "pruned_arrivals": runs["serial_scalar"].pruned_arrivals,
+        "identical_results": True,
+        "merge_digest": best.merge_digest,
+    }
+    if full_scale:
+        payload["hosts_per_sec"] = round(best.hosts_per_sec, 3)
+    else:
+        # A scaled-down local run records its shape but must not poison
+        # the full-scale trajectory baseline with incomparable numbers.
+        payload["skipped"] = (
+            f"reduced scale ({CLUSTER_HOSTS} hosts / {CLUSTER_VMS} vms); "
+            "hosts_per_sec only comparable at 1000/100000"
+        )
+    _record("fleet_cluster", payload)
+
+
 if __name__ == "__main__":
     test_fleet_scaling()
+    test_fleet_pool_engines()
+    test_fleet_cluster()

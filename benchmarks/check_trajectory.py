@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from typing import Sequence
@@ -78,6 +79,12 @@ BASELINE_CLAMPS: dict[tuple[str, str], float] = {
     # floor never climbs above 400 — well below honest observations,
     # far above a hung or serialized daemon.
     ("serve_throughput", "rps"): 400.0,
+    # Cluster campaign throughput (1000 hosts / 100k VM arrivals);
+    # absolute hosts/sec depends on cores and clock, so the floor never
+    # climbs above 1.5 — below any honest observation (a 1-core
+    # container sustains ~3), far above a wedged or accidentally
+    # serialized-by-lock campaign.
+    ("fleet_cluster", "hosts_per_sec"): 1.5,
 }
 
 
@@ -207,12 +214,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         # scaling bench on a single-core runner): it writes a "skipped"
         # marker instead of a speedup.  That is a loud, deliberate skip —
         # pass it through without gating rather than failing on the
-        # missing metric.
+        # missing metric.  With one exception: on a multi-core machine a
+        # skip marker should never exist in the first place, so TWO
+        # consecutive recorded skips while this gate runs multi-core
+        # mean the metric is being silently starved (mislabelled
+        # runner, env knob left set, bench bug) — fail loudly instead
+        # of letting skips satisfy the gate forever.
         try:
             entry = json.loads(args.current.read_text()).get(args.key)
         except (OSError, ValueError):
             entry = None
         if isinstance(entry, dict) and "skipped" in entry:
+            try:
+                prev_entry = json.loads(args.previous.read_text()).get(args.key)
+            except (OSError, ValueError):
+                prev_entry = None
+            prev_skipped = isinstance(prev_entry, dict) and "skipped" in prev_entry
+            cpus = os.cpu_count() or 1
+            if prev_skipped and cpus >= 2:
+                print(
+                    f"trajectory: {args.key} skipped 2+ consecutive recorded "
+                    f"runs (now: {entry['skipped']}; previously: "
+                    f"{prev_entry['skipped']}) while this gate runs on "
+                    f"{cpus} CPUs — a capable runner must record the "
+                    "metric — FAIL"
+                )
+                return 1
             print(
                 f"trajectory: {args.key} SKIPPED ({entry['skipped']}) — "
                 "not gated"

@@ -14,6 +14,11 @@ continuously audited while failure is injected:
   dead worker processes (a crashed worker used to kill the whole
   ``pool.map`` campaign), and degrades to typed ``ok: False`` results
   instead of crashing.
+- :mod:`repro.chaos.pool` — :class:`PersistentWorkerPool`, the default
+  parallel execution engine behind the supervisor: long-lived workers
+  pulling tasks over pipes with warm per-worker caches, shared across
+  campaigns via :func:`shared_pool`, under the same death/timeout/retry
+  contracts as the per-task spawn path.
 - :mod:`repro.chaos.journal` — :class:`CampaignJournal`, the JSONL
   checkpoint log behind ``repro fleet --resume``: a SIGKILLed campaign
   resumes bit-identically, skipping completed shards.
@@ -31,8 +36,14 @@ from repro.chaos.plan import (
     FLEET_KINDS,
     SHARD_KINDS,
 )
+from repro.chaos.pool import (
+    PersistentWorkerPool,
+    shared_pool,
+    shutdown_shared_pools,
+)
 from repro.chaos.supervisor import (
     CampaignSupervisor,
+    POOL_MODES,
     SupervisionReport,
     SupervisorPolicy,
     TaskOutcome,
@@ -51,6 +62,8 @@ __all__ = [
     "ChaosSpec",
     "FLEET_KINDS",
     "IsolationAuditor",
+    "POOL_MODES",
+    "PersistentWorkerPool",
     "SHARD_KINDS",
     "SupervisionReport",
     "SupervisorPolicy",
@@ -59,4 +72,6 @@ __all__ = [
     "WORKER_DEATH_EXIT",
     "WorkerDeathError",
     "config_digest",
+    "shared_pool",
+    "shutdown_shared_pools",
 ]

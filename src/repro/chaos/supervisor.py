@@ -26,6 +26,16 @@ planned worker death surfaces as :class:`WorkerDeathError` instead of a
 real process exit; the retry ladder is identical, which is what keeps
 ``--workers 1`` and ``--workers N`` merging bit-identically under the
 same chaos plan.
+
+Two parallel execution modes share that contract (``pool=``):
+
+- ``"persistent"`` (default) — a :class:`~repro.chaos.pool.PersistentWorkerPool`
+  of long-lived workers pulling tasks from the supervisor, reusing warm
+  per-worker state (geometry LUTs, decode caches) across tasks and
+  across campaigns.  This is the fast path.
+- ``"spawn"`` — the original one-process-per-task path, kept as an
+  escape hatch (``repro fleet --pool spawn``) so a pool regression can
+  be bisected against the old behaviour.
 """
 
 from __future__ import annotations
@@ -46,6 +56,9 @@ _log = get_logger("chaos.supervisor")
 WORKER_DEATH_EXIT = 70
 #: Exit code for an unexpected crash inside the supervised entry shim.
 WORKER_CRASH_EXIT = 81
+
+#: Parallel execution modes (see module docstring).
+POOL_MODES = ("persistent", "spawn")
 
 
 class WorkerDeathError(ChaosError):
@@ -130,6 +143,59 @@ class SupervisionReport:
         }
 
 
+def gave_up_result(task: Any, outcome: TaskOutcome, policy: SupervisorPolicy) -> dict:
+    """Typed degraded result for a shard that exhausted its budget.
+
+    Deterministic given the chaos plan: the same plan kills the same
+    attempts, so the same shards give up with the same error text — in
+    either pool mode, at any worker count.
+    """
+    _log.warning(
+        "host %d shard gave up after %d attempt(s)",
+        task.spec.host_id, policy.max_attempts,
+    )
+    return {
+        "host_id": task.spec.host_id,
+        "ok": False,
+        "gave_up": True,
+        "vms": [s.name for s in task.vm_specs],
+        "placed_bytes": 0,
+        "error": (
+            f"supervisor: shard failed {policy.max_attempts} "
+            "attempt(s) (worker death/timeout); giving up"
+        ),
+    }
+
+
+def note_death(host_id: int, attempt: int, detail: str) -> None:
+    """Log + emit one dead-worker observation (shared with the pool)."""
+    _log.warning(
+        "host %d worker died on attempt %d (%s); requeueing",
+        host_id, attempt, detail,
+    )
+    if obs.ENABLED:
+        obs.emit(
+            obs.ChaosEvent(
+                chaos="worker-death", host=host_id,
+                detail=f"attempt {attempt}: {detail}",
+            )
+        )
+
+
+def note_timeout(host_id: int, attempt: int) -> None:
+    """Log + emit one shard-timeout observation (shared with the pool)."""
+    _log.warning(
+        "host %d shard timed out on attempt %d; requeueing",
+        host_id, attempt,
+    )
+    if obs.ENABLED:
+        obs.emit(
+            obs.ChaosEvent(
+                chaos="timeout", host=host_id, detail=f"attempt {attempt}",
+            )
+        )
+
+
 def _supervised_entry(conn, run_fn, task, attempt: int) -> None:
     """Subprocess shim: run the shard, pipe the result back, and turn a
     planned chaos death into a *real* process death so the parent's
@@ -168,9 +234,15 @@ class CampaignSupervisor:
         run_fn: Callable[..., dict],
         *,
         policy: Optional[SupervisorPolicy] = None,
+        pool: str = "persistent",
+        warmup: Optional[Callable[[], None]] = None,
     ):
+        if pool not in POOL_MODES:
+            raise ChaosError(f"unknown pool mode {pool!r}; know {POOL_MODES}")
         self.run_fn = run_fn
         self.policy = policy or SupervisorPolicy()
+        self.pool = pool
+        self.warmup = warmup
 
     # ------------------------------------------------------------------
     # Entry point
@@ -182,23 +254,37 @@ class CampaignSupervisor:
         workers: int,
         *,
         on_result: Optional[Callable[[dict], None]] = None,
+        collect: bool = True,
     ) -> Tuple[List[dict], SupervisionReport]:
         """Execute every task; returns (results, supervision report).
 
         *on_result* is invoked with each result dict as soon as the
         shard completes (the journal hook) — under SIGKILL the journal
-        holds exactly the shards that finished.
+        holds exactly the shards that finished.  With ``collect=False``
+        the returned result list is empty and *on_result* is the only
+        consumer — the cluster path folds results into a streaming
+        merge instead of materializing them all.
         """
         if workers <= 1 or len(tasks) <= 1:
-            return self._run_serial(tasks, on_result)
-        return self._run_parallel(tasks, workers, on_result)
+            return self._run_serial(tasks, on_result, collect)
+        if self.pool == "persistent":
+            from repro.chaos.pool import shared_pool
+
+            worker_pool = shared_pool(self.run_fn, workers, warmup=self.warmup)
+            return worker_pool.run(
+                tasks, self.policy, on_result=on_result, collect=collect
+            )
+        return self._run_parallel(tasks, workers, on_result, collect)
 
     # ------------------------------------------------------------------
     # Serial path (workers=1): in-process, same retry ladder
     # ------------------------------------------------------------------
 
     def _run_serial(
-        self, tasks: Sequence[Any], on_result: Optional[Callable[[dict], None]]
+        self,
+        tasks: Sequence[Any],
+        on_result: Optional[Callable[[dict], None]],
+        collect: bool = True,
     ) -> Tuple[List[dict], SupervisionReport]:
         report = SupervisionReport()
         results: List[dict] = []
@@ -212,15 +298,16 @@ class CampaignSupervisor:
                     break
                 except WorkerDeathError as exc:
                     outcome.worker_deaths += 1
-                    self._note_death(task.spec.host_id, attempt, str(exc))
+                    note_death(task.spec.host_id, attempt, str(exc))
                     if attempt >= self.policy.max_attempts:
                         outcome.gave_up = True
-                        result = self._gave_up_result(task, outcome)
+                        result = gave_up_result(task, outcome, self.policy)
                         break
                     self._backoff(attempt)
                     attempt += 1
                     outcome.attempts = attempt
-            results.append(result)
+            if collect:
+                results.append(result)
             if on_result is not None:
                 on_result(result)
         return results, report
@@ -234,6 +321,7 @@ class CampaignSupervisor:
         tasks: Sequence[Any],
         workers: int,
         on_result: Optional[Callable[[dict], None]],
+        collect: bool = True,
     ) -> Tuple[List[dict], SupervisionReport]:
         ctx = get_context()
         report = SupervisionReport()
@@ -274,17 +362,20 @@ class CampaignSupervisor:
             """A shard attempt failed without a result: retry or give up."""
             if timed_out:
                 state.outcome.timeouts += 1
-                self._note_timeout(state.task.spec.host_id, state.attempt)
+                note_timeout(state.task.spec.host_id, state.attempt)
             else:
                 state.outcome.worker_deaths += 1
-                self._note_death(
+                note_death(
                     state.task.spec.host_id,
                     state.attempt,
                     f"worker exit code {state.proc.exitcode}",
                 )
             if state.attempt >= self.policy.max_attempts:
                 state.outcome.gave_up = True
-                finish(state.task, self._gave_up_result(state.task, state.outcome))
+                finish(
+                    state.task,
+                    gave_up_result(state.task, state.outcome, self.policy),
+                )
                 return
             self._backoff(state.attempt)
             state.outcome.attempts = state.attempt + 1
@@ -327,7 +418,7 @@ class CampaignSupervisor:
                 state.conn.close()
                 retire(state, timed_out=True)
 
-        ordered = [results[i] for i in sorted(results)]
+        ordered = [results[i] for i in sorted(results)] if collect else []
         return ordered, report
 
     # ------------------------------------------------------------------
@@ -338,52 +429,3 @@ class CampaignSupervisor:
         wait = self.policy.backoff_s * (2 ** (prior_attempts - 1))
         if wait > 0:
             time.sleep(wait)
-
-    def _gave_up_result(self, task: Any, outcome: TaskOutcome) -> dict:
-        """Typed degraded result for a shard that exhausted its budget.
-
-        Deterministic given the chaos plan: the same plan kills the same
-        attempts, so the same shards give up with the same error text.
-        """
-        _log.warning(
-            "host %d shard gave up after %d attempt(s)",
-            task.spec.host_id, self.policy.max_attempts,
-        )
-        return {
-            "host_id": task.spec.host_id,
-            "ok": False,
-            "gave_up": True,
-            "vms": [s.name for s in task.vm_specs],
-            "placed_bytes": 0,
-            "error": (
-                f"supervisor: shard failed {self.policy.max_attempts} "
-                "attempt(s) (worker death/timeout); giving up"
-            ),
-        }
-
-    @staticmethod
-    def _note_death(host_id: int, attempt: int, detail: str) -> None:
-        _log.warning(
-            "host %d worker died on attempt %d (%s); requeueing",
-            host_id, attempt, detail,
-        )
-        if obs.ENABLED:
-            obs.emit(
-                obs.ChaosEvent(
-                    chaos="worker-death", host=host_id,
-                    detail=f"attempt {attempt}: {detail}",
-                )
-            )
-
-    @staticmethod
-    def _note_timeout(host_id: int, attempt: int) -> None:
-        _log.warning(
-            "host %d shard timed out on attempt %d; requeueing",
-            host_id, attempt,
-        )
-        if obs.ENABLED:
-            obs.emit(
-                obs.ChaosEvent(
-                    chaos="timeout", host=host_id, detail=f"attempt {attempt}",
-                )
-            )

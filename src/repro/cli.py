@@ -264,13 +264,74 @@ def _fleet_config(args: argparse.Namespace):
     )
 
 
+#: ``--shards auto``: campaigns at or above this host count take the
+#: cluster path (sharded admission over logical twins, streaming merge).
+CLUSTER_AUTO_HOSTS = 64
+
+
+def _cluster_shards(args: argparse.Namespace) -> int:
+    """Resolve ``--shards`` to an effective shard count (0 = classic)."""
+    raw = getattr(args, "shards", "auto")
+    if raw == "auto":
+        # Chaos/journal/resume are classic-campaign features; auto never
+        # silently switches them onto the cluster path.
+        classic_only = (
+            getattr(args, "chaos_seed", None) is not None
+            or getattr(args, "journal", None) is not None
+            or getattr(args, "resume", None) is not None
+        )
+        if classic_only or args.hosts < CLUSTER_AUTO_HOSTS:
+            return 0
+        return min(16, args.hosts)
+    shards = int(raw)
+    return 0 if shards <= 1 else shards
+
+
+def _cmd_fleet_cluster(args: argparse.Namespace, shards: int) -> int:
+    from repro.errors import FleetError
+    from repro.fleet import ClusterConfig, run_cluster_campaign
+
+    for flag in ("chaos_seed", "journal", "resume"):
+        if getattr(args, flag, None) is not None:
+            print(
+                f"repro fleet: --{flag.replace('_', '-')} is not supported "
+                "in cluster mode (--shards > 1)",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        config = ClusterConfig(
+            hosts=args.hosts,
+            vms=args.vms,
+            policy=args.policy,
+            scenario=args.scenario,
+            backend=args.backend,
+            seed=args.seed,
+            workers=args.workers,
+            budget=args.budget,
+            queue_depth=args.queue_depth,
+            max_retries=args.max_retries,
+            mitigation=getattr(args, "mitigation", "siloz"),
+            shards=shards,
+        )
+        report = run_cluster_campaign(config, pool=args.pool)
+    except FleetError as exc:
+        print(f"repro fleet: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_text())
+    return 0 if report.hosts_failed == 0 else 1
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.errors import ChaosError, FleetError
     from repro.fleet import FleetCampaign
 
+    shards = _cluster_shards(args)
+    if shards:
+        return _cmd_fleet_cluster(args, shards)
     resume = getattr(args, "resume", None)
     try:
-        campaign = FleetCampaign(_fleet_config(args))
+        campaign = FleetCampaign(_fleet_config(args), pool=args.pool)
         report = campaign.run(
             journal_path=getattr(args, "journal", None), resume_path=resume
         )
@@ -633,6 +694,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="resume a killed campaign: replay completed shards from the "
         "journal FILE, run only what's missing, keep journalling to it",
+    )
+    fleet.add_argument(
+        "--pool",
+        choices=("persistent", "spawn"),
+        default="persistent",
+        help="parallel execution engine: persistent warm worker pool "
+        "(default) or the per-task spawn path (bisection escape hatch)",
+    )
+    fleet.add_argument(
+        "--shards",
+        default="auto",
+        help="admission shards for cluster mode (>1 switches to sharded "
+        "admission over logical capacity twins with a streaming merge; "
+        "'auto' = cluster mode at >= 64 hosts unless chaos/journal/resume "
+        "is requested; 1 forces the classic campaign)",
     )
 
     bakeoff = sub.add_parser(

@@ -13,7 +13,11 @@ The package scales PR 0–3's one-server simulation out to a cluster:
   degraded-host evacuation (unblocks deferred offlinings).
 - :mod:`repro.fleet.driver` — parallel campaign execution with
   deterministic merging (workers=N ≡ workers=1, bit for bit).
-- :mod:`repro.fleet.report` — the merged, digestible campaign artifact.
+- :mod:`repro.fleet.cluster` — cluster-scale campaigns (1000 hosts /
+  100k VMs): sharded admission over logical capacity twins, streaming
+  merge, bounded driver memory.
+- :mod:`repro.fleet.report` — the merged, digestible campaign artifact,
+  plus the incremental :class:`~repro.fleet.report.StreamingMerge` fold.
 """
 
 from repro.fleet.admission import (
@@ -21,6 +25,16 @@ from repro.fleet.admission import (
     AdmissionDecision,
     RejectReason,
     generate_arrival_trace,
+    iter_arrival_trace,
+)
+from repro.fleet.cluster import (
+    ClusterCampaign,
+    ClusterConfig,
+    ClusterReport,
+    LogicalFleet,
+    LogicalHost,
+    measure_host_shape,
+    run_cluster_campaign,
 )
 from repro.fleet.driver import (
     CampaignConfig,
@@ -39,7 +53,7 @@ from repro.fleet.migration import (
     migrate_vm,
     region_extents,
 )
-from repro.fleet.report import FleetReport
+from repro.fleet.report import FleetReport, StreamingMerge
 from repro.fleet.scheduler import (
     BestFitScheduler,
     FirstFitScheduler,
@@ -57,10 +71,15 @@ __all__ = [
     "AdmissionDecision",
     "BestFitScheduler",
     "CampaignConfig",
+    "ClusterCampaign",
+    "ClusterConfig",
+    "ClusterReport",
     "Fleet",
     "FleetCampaign",
     "FleetReport",
     "FirstFitScheduler",
+    "LogicalFleet",
+    "LogicalHost",
     "Host",
     "HostSpec",
     "HostTask",
@@ -71,16 +90,20 @@ __all__ = [
     "SCENARIOS",
     "SCHEDULERS",
     "SpreadScheduler",
+    "StreamingMerge",
     "derive_host_seed",
     "evacuate_degraded",
     "evacuate_host",
     "generate_arrival_trace",
     "host_fits",
+    "iter_arrival_trace",
     "make_scheduler",
+    "measure_host_shape",
     "migrate_vm",
     "needed_bytes",
     "region_extents",
     "run_campaign",
+    "run_cluster_campaign",
     "run_host_task",
     "spec_page_aligned",
 ]

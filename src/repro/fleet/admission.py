@@ -80,6 +80,8 @@ class AdmissionController:
         queue_depth: int = 64,
         max_retries: int = 2,
         backoff_s: float = 0.001,
+        retain_decisions: bool = True,
+        on_decision=None,
     ):
         if queue_depth <= 0:
             raise HvError("queue_depth must be positive")
@@ -91,7 +93,17 @@ class AdmissionController:
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self._queue: deque[_Pending] = deque()
+        #: When False, decisions are streamed to ``on_decision`` (if
+        #: set) and **not** accumulated — cluster-scale campaigns fold
+        #: 100k decisions without holding them.  Aggregate accounting
+        #: (acceptance rate, rejections by reason) stays exact either
+        #: way via the running counters below.
+        self.retain_decisions = retain_decisions
+        self.on_decision = on_decision
         self.decisions: list[AdmissionDecision] = []
+        self._decided = 0
+        self._admitted = 0
+        self._rejected: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Intake (backpressure)
@@ -193,8 +205,27 @@ class AdmissionController:
         for host in self.fleet.hosts:
             host.hv.machine.dram.advance_time(wait)
 
+    def record_decision(self, decision: AdmissionDecision) -> AdmissionDecision:
+        """Record a decision made outside the queue machinery.
+
+        Cluster mode's saturation fast path synthesizes the decision a
+        full retry ladder would reach (capacity is monotone, so the
+        outcome is already known) and records it here so counters, the
+        decision stream, and the admission events stay exact.
+        """
+        return self._decide(decision)
+
     def _decide(self, decision: AdmissionDecision) -> AdmissionDecision:
-        self.decisions.append(decision)
+        if self.retain_decisions:
+            self.decisions.append(decision)
+        self._decided += 1
+        if decision.admitted:
+            self._admitted += 1
+        elif decision.reason is not None:
+            key = decision.reason.value
+            self._rejected[key] = self._rejected.get(key, 0) + 1
+        if self.on_decision is not None:
+            self.on_decision(decision)
         _log.info(
             "admission: %s %s%s (attempt %d)",
             decision.vm,
@@ -220,17 +251,38 @@ class AdmissionController:
     # ------------------------------------------------------------------
 
     @property
+    def decided(self) -> int:
+        """Total decisions made (exact even with ``retain_decisions=False``)."""
+        return self._decided
+
+    @property
     def acceptance_rate(self) -> float:
-        if not self.decisions:
+        if not self._decided:
             return 0.0
-        return sum(d.admitted for d in self.decisions) / len(self.decisions)
+        return self._admitted / self._decided
 
     def rejected_by_reason(self) -> dict[str, int]:
-        out: dict[str, int] = {}
-        for d in self.decisions:
-            if not d.admitted and d.reason is not None:
-                out[d.reason.value] = out.get(d.reason.value, 0) + 1
-        return out
+        return dict(self._rejected)
+
+
+def iter_arrival_trace(
+    seed: int,
+    count: int,
+    *,
+    sizes_mib: tuple[int, ...] = (1, 2, 2, 3, 4),
+    sockets: int = 1,
+    name_prefix: str = "vm",
+):
+    """Generator form of :func:`generate_arrival_trace` — identical
+    specs in identical order, but O(1) memory, so a 100k-VM cluster
+    trace streams through admission without ever materializing."""
+    rng = random.Random(seed ^ 0x5F1EE7)
+    for i in range(count):
+        yield VmSpec(
+            name=f"{name_prefix}-{i:03d}",
+            memory_bytes=rng.choice(sizes_mib) * MiB,
+            socket=rng.randrange(sockets),
+        )
 
 
 def generate_arrival_trace(
@@ -248,14 +300,12 @@ def generate_arrival_trace(
     size; the same ``(seed, count)`` always yields the same trace — the
     workers=1 vs workers=N determinism criterion depends on it.
     """
-    rng = random.Random(seed ^ 0x5F1EE7)
-    trace: list[VmSpec] = []
-    for i in range(count):
-        trace.append(
-            VmSpec(
-                name=f"{name_prefix}-{i:03d}",
-                memory_bytes=rng.choice(sizes_mib) * MiB,
-                socket=rng.randrange(sockets),
-            )
+    return list(
+        iter_arrival_trace(
+            seed,
+            count,
+            sizes_mib=sizes_mib,
+            sockets=sockets,
+            name_prefix=name_prefix,
         )
-    return trace
+    )

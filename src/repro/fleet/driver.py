@@ -245,6 +245,46 @@ def _apply_ue_storm(host: Host, spec: ChaosSpec) -> dict:
     }
 
 
+def warm_worker() -> None:
+    """Pooled-worker warmup: pre-touch the state every host task needs.
+
+    Booting one throwaway host populates the process-wide caches the
+    real shards hit — the memoized Skylake decode tables, the lazy
+    geometry LUTs, the import graph — so the first real task on a
+    persistent worker runs as warm as the hundredth.  Best-effort: a
+    failure here only costs the warmth.
+    """
+    from repro.fleet.host import Host, HostSpec
+
+    Host.boot(HostSpec(host_id=0, seed=0))
+
+
+def _counter_mark() -> dict[str, float] | None:
+    """Metrics-counter snapshot, or None while observability is off."""
+    if not obs.ENABLED:
+        return None
+    return dict(obs.metrics_snapshot()["counters"])
+
+
+def _trace_summary(before: dict[str, float]) -> dict:
+    """Compact merged trace summary for one host task.
+
+    Workers never ship their event streams back to the driver (a fleet
+    host emits thousands of ACT/TRR/ECC events; at cluster scale that
+    is the dominant IPC cost).  Instead each shard returns the per-kind
+    counter *deltas* its simulation folded into ``repro.obs`` — exact
+    even when the ring buffer dropped events, a few hundred bytes flat.
+    Execution-detail only: the merge digest scrubs this section.
+    """
+    after = obs.metrics_snapshot()["counters"]
+    merged = {
+        name: round(value - before.get(name, 0.0), 6)
+        for name, value in sorted(after.items())
+        if value != before.get(name, 0.0)
+    }
+    return {"merged_counters": merged, "events": "sampled"}
+
+
 def run_host_task(task: HostTask, attempt: int = 1) -> dict:
     """Worker entry point: boot the host, replay its placements, apply
     the shard's chaos events, run the scenario.  **Pure** in
@@ -253,6 +293,7 @@ def run_host_task(task: HostTask, attempt: int = 1) -> dict:
     one sick host must not kill the campaign) — except a planned
     :class:`WorkerDeathError`, which must escape so the supervisor's
     dead-worker handling is what gets exercised."""
+    mark = _counter_mark()
     try:
         host = Host.boot(task.spec)
         for spec in task.vm_specs:
@@ -302,6 +343,8 @@ def run_host_task(task: HostTask, attempt: int = 1) -> dict:
         }
         if chaos_notes:
             result["chaos"] = chaos_notes
+        if mark is not None:
+            result["trace"] = _trace_summary(mark)
         return result
     except WorkerDeathError:
         raise  # the supervisor, not the error path, owns this one
@@ -319,8 +362,15 @@ def run_host_task(task: HostTask, attempt: int = 1) -> dict:
 class FleetCampaign:
     """Placement + supervised per-host simulation + deterministic merge."""
 
-    def __init__(self, config: CampaignConfig):
+    def __init__(self, config: CampaignConfig, *, pool: str = "persistent"):
         self.config = config
+        #: Parallel execution engine: ``"persistent"`` (warm worker
+        #: pool, the default) or ``"spawn"`` (one process per task, the
+        #: pre-pool path kept as a bisection escape hatch).  Runtime
+        #: machinery only — deliberately *not* part of
+        #: :class:`CampaignConfig`, so journals, golden fixtures, and
+        #: merge digests are pool-mode independent by construction.
+        self.pool = pool
         self.fleet: Fleet | None = None
         self.admission: AdmissionController | None = None
         self._chaos_plan: ChaosPlan | None = None
@@ -476,7 +526,9 @@ class FleetCampaign:
             journal = CampaignJournal(journal_path or resume_path)
             journal.open(self.config_digest())
         try:
-            supervisor = CampaignSupervisor(run_host_task)
+            supervisor = CampaignSupervisor(
+                run_host_task, pool=self.pool, warmup=warm_worker
+            )
             results, supervision = supervisor.run(
                 pending,
                 cfg.workers,
@@ -602,9 +654,9 @@ def _make_corruptor(flip_offset: int):
     return corrupt
 
 
-def run_campaign(config: CampaignConfig) -> FleetReport:
+def run_campaign(config: CampaignConfig, *, pool: str = "persistent") -> FleetReport:
     """One-call convenience used by the CLI and the scaling bench."""
-    return FleetCampaign(config).run()
+    return FleetCampaign(config, pool=pool).run()
 
 
 __all__ = [

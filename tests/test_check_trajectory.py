@@ -160,3 +160,67 @@ class TestTrackedMetrics:
         assert check_trajectory.main(argv) == 0
         out = capsys.readouterr().out
         assert "vectorized_speedup" not in out
+
+
+def _skip_bench_json(tmp_path, name: str, entry: dict | None) -> pathlib.Path:
+    path = tmp_path / name
+    doc = {"bench": "fleet"}
+    if entry is not None:
+        doc["fleet_campaign"] = entry
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestConsecutiveSkips:
+    """A skip marker passes the gate once; two in a row on a multi-core
+    runner mean the metric is being silently starved and must fail."""
+
+    _ARGS = ["--key", "fleet_campaign"]
+
+    def test_single_skip_passes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr(check_trajectory.os, "cpu_count", lambda: 4)
+        prev = _skip_bench_json(tmp_path, "prev.json", {"speedup": 2.4})
+        cur = _skip_bench_json(
+            tmp_path, "cur.json", {"skipped": "single-core runner (1 cpu)"}
+        )
+        assert check_trajectory.main([str(prev), str(cur), *self._ARGS]) == 0
+        assert "SKIPPED" in capsys.readouterr().out
+
+    def test_two_consecutive_skips_fail_on_multicore(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setattr(check_trajectory.os, "cpu_count", lambda: 4)
+        prev = _skip_bench_json(
+            tmp_path, "prev.json", {"skipped": "single-core runner (1 cpu)"}
+        )
+        cur = _skip_bench_json(
+            tmp_path, "cur.json", {"skipped": "single-core runner (1 cpu)"}
+        )
+        assert check_trajectory.main([str(prev), str(cur), *self._ARGS]) == 1
+        out = capsys.readouterr().out
+        assert "2+ consecutive" in out and "FAIL" in out
+
+    def test_two_consecutive_skips_pass_on_single_core(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # A genuinely single-core gate runner cannot demand the metric.
+        monkeypatch.setattr(check_trajectory.os, "cpu_count", lambda: 1)
+        prev = _skip_bench_json(
+            tmp_path, "prev.json", {"skipped": "single-core runner (1 cpu)"}
+        )
+        cur = _skip_bench_json(
+            tmp_path, "cur.json", {"skipped": "single-core runner (1 cpu)"}
+        )
+        assert check_trajectory.main([str(prev), str(cur), *self._ARGS]) == 0
+        assert "SKIPPED" in capsys.readouterr().out
+
+    def test_skip_with_missing_previous_passes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setattr(check_trajectory.os, "cpu_count", lambda: 4)
+        cur = _skip_bench_json(
+            tmp_path, "cur.json", {"skipped": "single-core runner (1 cpu)"}
+        )
+        missing = tmp_path / "nope.json"
+        assert check_trajectory.main([str(missing), str(cur), *self._ARGS]) == 0
+        assert "SKIPPED" in capsys.readouterr().out
